@@ -1,0 +1,51 @@
+"""§IV-E: per-metric collection cost — Ganglia vs LDMS.
+
+Regenerates the paper's comparison ("126 usec per metric for Ganglia
+vs. 1.3 usec per metric for LDMS").  Two timed benches (one per
+system) plus a single-shot summary printing the measured ratio.
+"""
+
+from repro.experiments.ganglia_compare import run, main
+
+
+def test_collection_cost_summary(bench_once):
+    res = bench_once(main)
+    # Shape: Ganglia costs several times more per metric than LDMS.
+    assert res.ganglia_us_per_metric > 3.0 * res.ldms_us_per_metric
+
+
+def test_ldms_per_metric(benchmark):
+    """Micro: one LDMS sampling sweep (meminfo + procstat)."""
+    from repro.experiments.ganglia_compare import (
+        MEMINFO_KEYS, _pick_fs)
+    from repro.core import Ldmsd, SimEnv
+    from repro.sim.engine import Engine
+    from repro.transport.simfabric import SimFabric, SimTransport
+
+    eng = Engine()
+    fs, _ = _pick_fs()
+    d = Ldmsd("n0", env=SimEnv(eng), fs=fs,
+              transports={"sock": SimTransport(SimFabric(eng), "sock")})
+    mem = d.load_sampler("meminfo", instance="n0/mem", component_id=1,
+                         metrics=",".join(MEMINFO_KEYS))
+    cpu = d.load_sampler("procstat", instance="n0/cpu", component_id=1)
+
+    def sweep():
+        mem.sample(0.0)
+        cpu.sample(0.0)
+
+    benchmark(sweep)
+
+
+def test_ganglia_per_metric(benchmark):
+    """Micro: one Ganglia collection sweep of the same metrics."""
+    from repro.baselines.ganglia import GangliaMetric, Gmond
+    from repro.experiments.ganglia_compare import MEMINFO_KEYS, _pick_fs
+    from repro.plugins.samplers.parsers import CPU_FIELDS
+
+    fs, _ = _pick_fs()
+    modules = [GangliaMetric.meminfo(k.lower(), k) for k in MEMINFO_KEYS]
+    modules += [GangliaMetric.procstat(f"cpu_{f}", f"cpu_{f}")
+                for f in CPU_FIELDS]
+    gmond = Gmond(fs, modules)
+    benchmark(gmond.collect_and_send, 0.0)

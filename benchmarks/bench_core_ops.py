@@ -1,0 +1,99 @@
+"""Micro-benchmarks of the hot core operations.
+
+These are the operations whose cost model the simulator parameterises
+(sampling cost per metric, update processing, store formatting); the
+benches keep the implementation honest about them.
+"""
+
+import numpy as np
+
+from repro.core import wire
+from repro.core.memory import Arena
+from repro.core.metric import MetricType
+from repro.core.metric_set import MetricSet
+
+
+def _make_set(n=194):
+    arena = Arena(1 << 20)
+    return MetricSet.create(
+        "n0/bench", "bench",
+        [(f"metric_{i:03d}", MetricType.U64, 1) for i in range(n)], arena,
+    )
+
+
+def test_set_all_194_metrics(benchmark):
+    """One full sampling transaction of a BW-sized set."""
+    mset = _make_set(194)
+    values = list(range(194))
+    benchmark(mset.set_all, values, 1.0)
+
+
+def test_set_value_single(benchmark):
+    mset = _make_set(16)
+    mset.begin_transaction()
+    benchmark(mset.set_value, 3, 12345)
+
+
+def test_data_bytes_copy(benchmark):
+    """The producer-side cost of servicing one one-sided read."""
+    mset = _make_set(194)
+    mset.set_all(list(range(194)), 1.0)
+    out = benchmark(mset.data_bytes)
+    assert len(out) == mset.data_size
+
+
+def test_apply_data(benchmark):
+    """The consumer-side cost of installing one update."""
+    src = _make_set(194)
+    src.set_all(list(range(194)), 1.0)
+    mirror = MetricSet.from_meta(src.meta_bytes(), Arena(1 << 20))
+    data = src.data_bytes()
+    benchmark(mirror.apply_data, data)
+
+
+def test_wire_frame_roundtrip(benchmark):
+    payload = bytes(2048)
+
+    def roundtrip():
+        raw = wire.encode_frame(wire.MsgType.UPDATE_REPLY, 7, payload)
+        return wire.decode_frame(raw)
+
+    frame = benchmark(roundtrip)
+    assert frame.payload == payload
+
+
+def test_arena_alloc_free(benchmark):
+    arena = Arena(1 << 20)
+
+    def cycle():
+        offs = [arena.alloc(256) for _ in range(64)]
+        for off in offs:
+            arena.free(off)
+
+    benchmark(cycle)
+
+
+def test_meminfo_parse(benchmark):
+    """Parser cost on a realistic meminfo body."""
+    from repro.nodefs.host import HostModel
+    from repro.plugins.samplers.parsers import parse_meminfo
+
+    host = HostModel("n0", clock=lambda: 0.0)
+    text = host.fs.read("/proc/meminfo")
+    out = benchmark(parse_meminfo, text)
+    assert out["MemTotal"] > 0
+
+
+def test_flow_engine_accumulate(benchmark):
+    """One integration step over the full 24^3 torus link arrays."""
+    from repro.network.torus import GeminiTorus
+    from repro.network.traffic import FlowEngine
+
+    torus = GeminiTorus(dims=(24, 24, 24))
+    engine = FlowEngine(torus)
+    rng = np.random.default_rng(1)
+    for _ in range(200):
+        a, b = rng.integers(0, torus.n_nodes, 2)
+        if a != b:
+            engine.add_flow(int(a), int(b), 1e9)
+    benchmark(engine.accumulate, 60.0)

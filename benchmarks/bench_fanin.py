@@ -1,0 +1,23 @@
+"""§IV-A fan-in limits by transport + §IV-D aggregator utilization."""
+
+from repro.experiments.fanin import SCALE, main, max_fanin
+from repro.transport.base import get_transport_profile
+
+
+def test_fanin_sweep(bench_once):
+    results = bench_once(main)
+    sock_knee = max_fanin(results["sock"]) * SCALE
+    rdma_knee = max_fanin(results["rdma"]) * SCALE
+    ugni_knee = max_fanin(results["ugni"]) * SCALE
+    # Paper: ~9,000:1 for sock and IB RDMA; >15,000:1 for ugni.
+    assert 8000 <= sock_knee <= 10000
+    assert 8000 <= rdma_knee <= 10000
+    assert ugni_knee > 15000
+    assert ugni_knee > sock_knee
+    # Knees coincide with the profile capacities.
+    assert sock_knee == get_transport_profile("sock").max_connections
+    # Aggregator utilization: first-level Chama aggregator well under 1
+    # core; BW configuration hotter but sub-core in our model.
+    chama, bw = results["utilization"]
+    assert chama.core_pct < 1.0
+    assert bw.core_pct < 100.0

@@ -1,0 +1,12 @@
+"""Fig. 10: percent theoretical max bandwidth (Y+), full torus."""
+
+from repro.experiments.common import PAPER
+from repro.experiments.fig10_bandwidth import main
+
+
+def test_fig10_full_torus(bench_once):
+    res = bench_once(main, dims=PAPER.torus_dims)
+    # Max ~63% of theoretical link bandwidth.
+    assert abs(res.max_bw_pct - PAPER.fig10_max_bw_pct) < 8.0
+    # "significantly higher than typically observed values".
+    assert res.stands_out

@@ -1,0 +1,13 @@
+"""Fig. 11: Lustre opens node x time features at Chama scale."""
+
+from repro.experiments.fig11_lustre_opens import main
+
+
+def test_fig11(bench_once):
+    res = bench_once(main)
+    # Horizontal lines: the abusive hosts are exactly the sustained bands.
+    assert res.bands_match
+    # Vertical lines: both planted system-wide events detected.
+    assert res.events_match
+    # Full Chama scale, full day at 1-minute samples.
+    assert res.opens.shape == (1440, 1296)

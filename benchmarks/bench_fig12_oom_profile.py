@@ -1,0 +1,16 @@
+"""Fig. 12: OOM-killed 64-node job memory profile (end-to-end pipeline)."""
+
+from repro.experiments.fig12_oom_profile import main
+
+
+def test_fig12(bench_once):
+    res = bench_once(main)
+    assert res.oom_killed
+    assert len(res.profile.node_indices) == 64
+    # The hog node approached the 64 GB node memory before the kill.
+    assert res.peak_node_kb > 0.85 * res.mem_total_kb
+    # Imbalance and growth "readily apparent".
+    assert res.imbalance_visible
+    assert res.growth_visible
+    # Pre/post margins show quiet nodes.
+    assert res.profile.pre_post_quiet(2 * 1024 * 1024)

@@ -1,0 +1,18 @@
+"""Fig. 5: PSNAP loop-time histogram, Blue Waters, NM vs 1 s sampling."""
+
+from repro.experiments.common import PAPER
+from repro.experiments.fig5_psnap_bw import main
+
+
+def test_fig5(bench_once):
+    res = bench_once(main)
+    # The monitored tail gains ~1e-4..1e-6 of events (scale dependent);
+    # it must match the closed-form expectation within 25%.
+    assert res.extra_tail_fraction > 0
+    assert abs(res.extra_tail_fraction - res.expected_tail_fraction) \
+        < 0.25 * res.expected_tail_fraction
+    # Extra delay band matches the paper's 100-415 us within a bin.
+    assert abs(res.extra_delay_lo_us - PAPER.psnap_extra_delay_lo_us) < 30
+    assert abs(res.extra_delay_hi_us - PAPER.psnap_extra_delay_hi_us) < 30
+    # Both configurations saw the same total loop count.
+    assert res.unmonitored.total == res.monitored.total

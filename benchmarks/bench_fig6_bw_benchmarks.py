@@ -1,0 +1,23 @@
+"""Fig. 6: Blue Waters benchmark variation under LDMS configurations."""
+
+from repro.experiments.fig6_bw_benchmarks import main
+
+
+def test_fig6(bench_once):
+    res = bench_once(main)
+    # Every benchmark has all 5 configurations (unmonitored + 4).
+    for name, summaries in res.series.items():
+        assert len(summaries) == 5, name
+        # Normalized means stay near 1: monitoring effects are inside
+        # run-to-run variation (paper: "No statistically significant
+        # impact was observed").
+        for s in summaries:
+            assert 0.8 < s.normalized_mean < 1.2, (name, s.label)
+    assert res.any_significant() == []
+    # The figure's 12 series are all present.
+    expected = {
+        "Mini-ghost wall time", "Minighost-comm", "Minighost-gridsum",
+        "Linktest", "MILC Llfat", "MILC Lllong", "MILC CG iteration",
+        "MILC GF", "MILC FF", "MILC step", "IMB Allreduce",
+    }
+    assert expected <= set(res.series)

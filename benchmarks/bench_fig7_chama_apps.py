@@ -1,0 +1,19 @@
+"""Fig. 7: Chama application runtime averages (NM / 20 s / 1 s)."""
+
+from repro.experiments.fig7_chama_apps import main
+
+
+def test_fig7(bench_once):
+    res = bench_once(main)
+    expected = {"Nalu-8192", "Nalu-1536", "CTH-7200", "CTH-1024",
+                "Adagio-1024", "Adagio-512"}
+    assert expected == set(res.series)
+    for name, summaries in res.series.items():
+        assert [s.label for s in summaries] == [
+            "unmonitored", "20s interval", "1s interval"
+        ]
+        # Monitored means within a few percent of unmonitored.
+        for s in summaries:
+            assert 0.9 < s.normalized_mean < 1.1, (name, s.label)
+    # Paper: "no practical impact" — nothing significant.
+    assert res.any_significant() == []

@@ -1,0 +1,15 @@
+"""Fig. 8: PSNAP on Chama — NM vs HM_HALF vs HM."""
+
+from repro.experiments.fig8_psnap_chama import main
+
+
+def test_fig8(bench_once):
+    res = bench_once(main)
+    fracs = res.tail_fractions()
+    # Paper: "While NM and HM HALF are comparable, there are
+    # substantially more elements in the tail in HM case."
+    assert fracs["HM_HALF"] < 2.0 * fracs["NM"]
+    assert fracs["HM"] > 3.0 * fracs["HM_HALF"]
+    # All three histograms cover the same loop population.
+    totals = {k: h.total for k, h in res.histograms.items()}
+    assert len(set(totals.values())) == 1

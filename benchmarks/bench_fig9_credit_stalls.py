@@ -1,0 +1,18 @@
+"""Fig. 9: X+ credit stalls over 24 h on the full 24x24x24 torus."""
+
+from repro.experiments.common import PAPER
+from repro.experiments.fig9_credit_stalls import main
+
+
+def test_fig9_full_torus(bench_once):
+    res = bench_once(main, dims=PAPER.torus_dims)
+    # Max ~85% stall.
+    assert abs(res.max_stall_pct - PAPER.fig9_max_stall_pct) < 5.0
+    # 20-45% band persisting up to ~20 h.
+    assert res.band_20_45_hours >= 15.0
+    # 60+% band of ~1.5 h.
+    assert 1.0 <= res.band_60_hours <= 3.0
+    # The max-stall congestion region wraps around the torus in X and
+    # has extent in the X direction.
+    assert res.wrap_region_found
+    assert res.x_extent >= 3

@@ -1,0 +1,21 @@
+"""§IV-D resource footprints (set sizes, memory, data volumes)."""
+
+from repro.experiments.common import PAPER
+from repro.experiments.footprint import main
+
+
+def test_footprint(bench_once):
+    chama, bw = bench_once(main)
+    # Shape assertions against the paper's numbers.
+    assert 0.5 * PAPER.chama_set_bytes < chama.set_bytes < 1.5 * PAPER.chama_set_bytes
+    assert 0.5 * PAPER.bw_set_bytes < bw.set_bytes < 1.5 * PAPER.bw_set_bytes
+    assert 0.05 < chama.data_fraction < 0.2
+    assert 0.05 < bw.data_fraction < 0.2
+    assert chama.sampler_arena_bytes < PAPER.sampler_mem_limit
+    assert bw.sampler_arena_bytes < PAPER.sampler_mem_limit
+    # Daily CSV within a small factor of the paper's volumes.
+    assert 0.3 * PAPER.chama_daily_csv_gb < chama.daily_csv_gb < 3 * PAPER.chama_daily_csv_gb
+    assert 0.3 * PAPER.bw_daily_csv_gb < bw.daily_csv_gb < 3 * PAPER.bw_daily_csv_gb
+    # Per-interval wire volume (the 5 MB / 44 MB numbers).
+    assert 3e6 < chama.wire_bytes_per_interval < 8e6
+    assert 25e6 < bw.wire_bytes_per_interval < 70e6

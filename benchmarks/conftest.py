@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+Heavy experiment benches run exactly once per session (``--benchmark-only``
+still reports their wall time); micro benches use normal calibration.
+"""
+
+import pytest
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run a heavy experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return once(benchmark, fn, *args, **kwargs)
+
+    return _run

@@ -1,0 +1,53 @@
+"""Does monitoring perturb applications?  (§V in miniature.)
+
+Runs PSNAP and two bulk-synchronous application models under
+unmonitored / 20 s / 1 s LDMS configurations and prints the comparison
+the paper makes: tail growth for PSNAP, normalized runtimes with
+observation ranges for the applications.
+
+    python examples/app_impact.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.impact import compare_runs
+from repro.apps import Cth, MiniGhost, Psnap
+from repro.apps.base import MonitoringSpec
+from repro.util.rngtools import spawn_rng
+
+
+def main() -> None:
+    rng = spawn_rng(17, "impact-example")
+    specs = {
+        "20s": MonitoringSpec.interval_20s(),
+        "1s": MonitoringSpec.interval_1s(),
+    }
+
+    # --- PSNAP: the microscope -------------------------------------------
+    psnap = Psnap(n_nodes=32, iterations=100_000, tasks_per_node=16)
+    print("PSNAP: 100 us loops, 32 nodes x 16 tasks "
+          f"({psnap.total_loops:,} loops)")
+    for label, spec in [("unmonitored", MonitoringSpec.unmonitored()),
+                        *specs.items()]:
+        hist = psnap.run_histogram(spec, rng)
+        frac = hist.tail_fraction(180.0)
+        print(f"  {label:12s} loops delayed beyond 180us: {frac:.2e}")
+    print("  -> sampling leaves a visible but tiny tail; each fire delays "
+          "exactly one loop of one task\n")
+
+    # --- applications: does the tail matter? -------------------------------
+    for app in (MiniGhost(n_nodes=512), Cth(n_nodes=128, iterations=300)):
+        base = app.ensemble(MonitoringSpec.unmonitored(), rng, repeats=3)
+        monitored = {lbl: app.ensemble(spec, rng, repeats=3)
+                     for lbl, spec in specs.items()}
+        print(f"{app.name} ({app.n_nodes} nodes, {app.iterations} iters):")
+        for s in compare_runs(base, monitored):
+            print(f"  {s.label:12s} normalized mean {s.normalized_mean:.4f} "
+                  f"range [{s.normalized_lo:.4f}, {s.normalized_hi:.4f}] "
+                  f"p={s.p_value:.2f}")
+        print("  -> monitored means sit inside the unmonitored run-to-run "
+              "range (the paper's conclusion)\n")
+
+
+if __name__ == "__main__":
+    main()

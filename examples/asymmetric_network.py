@@ -1,0 +1,65 @@
+"""Passive connections: monitoring across an asymmetric network (§IV-B).
+
+Compute nodes behind a NAT/firewall (or on a network where only
+outbound connections are allowed) cannot be dialed by the aggregator.
+LDMS supports "initiation of a connection from either side": the
+*aggregator* declares a passive producer and the *sampler* connects out
+and advertises itself — after which the normal pull protocol runs over
+that connection, pull direction unchanged.
+
+This demo runs on real TCP: only the aggregator listens; the samplers
+make strictly outbound connections.
+
+    python examples/asymmetric_network.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import Ldmsd
+from repro.nodefs.host import HostModel
+
+
+def main() -> None:
+    # --- aggregator: the only listener anywhere -------------------------
+    aggregator = Ldmsd("agg0")
+    store = aggregator.add_store("memory")
+    listener = aggregator.listen("sock", ("127.0.0.1", 0))
+    for i in range(3):
+        aggregator.add_producer(f"edge{i}", "sock", interval=0.5,
+                                passive=True)
+    print(f"aggregator listening on :{listener.port}; "
+          "declared 3 passive producers")
+
+    # --- edge nodes: outbound-only --------------------------------------
+    samplers = []
+    for i in range(3):
+        host = HostModel(f"edge{i}", clock=time.monotonic)
+        d = Ldmsd(f"edge{i}", fs=host.fs)
+        d.load_sampler("loadavg", instance=f"edge{i}/loadavg",
+                       component_id=i + 1)
+        d.start_sampler(f"edge{i}/loadavg", interval=0.5)
+        # No listen() call on the sampler side — outbound only.
+        d.advertise("sock", ("127.0.0.1", listener.port))
+        samplers.append(d)
+    print("edge daemons advertised themselves (no inbound ports opened)")
+
+    time.sleep(3.0)
+    per = {}
+    for r in store.rows:
+        per[r.set_name] = per.get(r.set_name, 0) + 1
+    print("\ncollected rows per edge node:")
+    for name in sorted(per):
+        print(f"  {name}: {per[name]}")
+    for name, prod in aggregator.producers.items():
+        print(f"producer {name}: connected={prod.connected} "
+              f"stored={prod.stats.stored}")
+
+    for d in samplers:
+        d.shutdown()
+    aggregator.shutdown()
+
+
+if __name__ == "__main__":
+    main()

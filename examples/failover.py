@@ -1,0 +1,66 @@
+"""Aggregator failover with standby connections (§IV-B, Fig. 3).
+
+A sampler is pulled by a primary aggregator while a backup maintains a
+*standby* connection (connected, looked-up, not pulling).  At t=30 the
+primary dies; at t=33 an external watchdog activates the standby — as
+in LDMS, "there is currently no internal mechanism for a standby
+aggregator to detect a primary has gone down".  The demo measures the
+data actually lost during the failover window.
+
+    python examples/failover.py
+"""
+
+from __future__ import annotations
+
+from repro.core import Ldmsd, SimEnv
+from repro.sim.engine import Engine
+from repro.transport.simfabric import SimFabric, SimTransport
+
+
+def main() -> None:
+    engine = Engine()
+    env = SimEnv(engine)
+    fabric = SimFabric(engine)
+
+    def make(name, xprt="rdma"):
+        return Ldmsd(name, env=env,
+                     transports={xprt: SimTransport(fabric, xprt, node_id=name)})
+
+    sampler = make("node0")
+    sampler.load_sampler("synthetic", instance="node0/syn", component_id=1,
+                         num_metrics=8, pattern="counter")
+    sampler.start_sampler("node0/syn", interval=1.0)
+    sampler.listen("rdma", "node0:411")
+
+    primary = make("primary")
+    primary_store = primary.add_store("memory")
+    primary.add_producer("node0", "rdma", "node0:411", interval=1.0)
+
+    backup = make("backup")
+    backup_store = backup.add_store("memory")
+    backup.add_producer("node0", "rdma", "node0:411", interval=1.0,
+                        standby=True)
+
+    engine.call_later(30.0, primary.shutdown)  # primary crashes
+    engine.call_later(33.0, lambda: backup.activate_standby("node0"))
+    engine.run(until=60.0)
+
+    got_primary = sorted(int(r.values[0]) for r in primary_store.rows)
+    got_backup = sorted(int(r.values[0]) for r in backup_store.rows)
+    print(f"primary collected samples {got_primary[0]}..{got_primary[-1]} "
+          f"({len(got_primary)})")
+    print(f"backup  collected samples {got_backup[0]}..{got_backup[-1]} "
+          f"({len(got_backup)})")
+    all_seen = set(got_primary) | set(got_backup)
+    produced = set(range(1, max(all_seen) + 1))
+    lost = sorted(produced - all_seen)
+    print(f"samples lost during the 3 s failover window: {lost}")
+    print("standby connections bound the loss to the watchdog latency; "
+          "without them the backup would also pay connect+lookup time")
+
+    backup.shutdown()
+    sampler.shutdown()
+
+
+if __name__ == "__main__":
+    main()

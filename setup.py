@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject metadata because this environment lacks the
+``wheel`` package needed for PEP 517 editable builds; ``pip install -e .``
+falls back to the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

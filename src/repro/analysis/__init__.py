@@ -1,0 +1,43 @@
+"""Characterization and impact-analysis tools (paper §V-§VI).
+
+* :mod:`repro.analysis.heatmap` — node x time grids with the paper's
+  presentation rules (threshold < 1 dropped, Fig. 9-11 style) and
+  band/event feature extraction.
+* :mod:`repro.analysis.torus_view` — 3-D torus snapshots and congestion
+  region detection with wraparound connectivity (Fig. 9 bottom).
+* :mod:`repro.analysis.profiles` — application profiles: joining stored
+  metric data with scheduler job logs (Fig. 12).
+* :mod:`repro.analysis.impact` — monitored-vs-unmonitored statistics
+  for the §V experiments (normalized runtimes, significance tests).
+"""
+
+from repro.analysis.heatmap import (
+    threshold_grid,
+    sustained_bands,
+    systemwide_events,
+    occupancy,
+)
+from repro.analysis.torus_view import congestion_regions, region_wraps, TorusRegion
+from repro.analysis.profiles import JobProfile, build_job_profile
+from repro.analysis.impact import (ImpactSummary, compare_runs,
+                                   family_significant, significance)
+from repro.analysis.rates import deltas, rates, resample
+
+__all__ = [
+    "threshold_grid",
+    "sustained_bands",
+    "systemwide_events",
+    "occupancy",
+    "congestion_regions",
+    "region_wraps",
+    "TorusRegion",
+    "JobProfile",
+    "build_job_profile",
+    "ImpactSummary",
+    "compare_runs",
+    "family_significant",
+    "significance",
+    "deltas",
+    "rates",
+    "resample",
+]

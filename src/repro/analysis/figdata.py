@@ -1,0 +1,104 @@
+"""Plot-ready data exports for the paper's figures.
+
+The experiment harnesses return result objects; these helpers write the
+exact series a plotting tool needs (gnuplot/matplotlib/pandas-ready
+CSV), so regenerating the paper's images is a `plot` invocation away:
+
+* Fig. 5/8 — histogram rows (bin center, count per configuration);
+* Fig. 9/10 (top) — node x time grids, long format;
+* Fig. 9 (bottom) — the 3-D torus snapshot (x, y, z, value);
+* Fig. 12 — per-node memory series with job-window markers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.util.stats import Histogram
+
+__all__ = [
+    "write_histograms",
+    "write_node_time_grid",
+    "write_torus_snapshot",
+    "write_job_profile",
+]
+
+
+def _open(path: str):
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    return open(path, "w", encoding="utf-8")
+
+
+def write_histograms(path: str, histograms: dict[str, Histogram]) -> int:
+    """``bin_center_us,<label1>,<label2>,...`` rows; returns row count."""
+    labels = list(histograms)
+    base = histograms[labels[0]]
+    for h in histograms.values():
+        if h.counts.shape != base.counts.shape:
+            raise ValueError("histograms must share binning")
+    n = 0
+    with _open(path) as f:
+        f.write("bin_center_us," + ",".join(labels) + "\n")
+        for i, c in enumerate(base.centers):
+            counts = [int(histograms[k].counts[i]) for k in labels]
+            if any(counts):
+                f.write(f"{c:.3f}," + ",".join(map(str, counts)) + "\n")
+                n += 1
+    return n
+
+
+def write_node_time_grid(
+    path: str,
+    times: np.ndarray,
+    grid: np.ndarray,
+    threshold: float = 1.0,
+    value_name: str = "value",
+) -> int:
+    """Long-format ``time,node,value`` rows for (time, node) grids.
+
+    Values under ``threshold`` are omitted — the paper's display rule,
+    which also keeps full-machine exports to the interesting cells.
+    """
+    grid = np.asarray(grid)
+    n = 0
+    with _open(path) as f:
+        f.write(f"time_s,node,{value_name}\n")
+        ti, ni = np.nonzero(np.nan_to_num(grid, nan=0.0) >= threshold)
+        for t_idx, n_idx in zip(ti, ni):
+            f.write(f"{times[t_idx]:.1f},{n_idx},{grid[t_idx, n_idx]:.3f}\n")
+            n += 1
+    return n
+
+
+def write_torus_snapshot(
+    path: str,
+    coords: np.ndarray,
+    values: np.ndarray,
+    threshold: float = 1.0,
+) -> int:
+    """``x,y,z,value`` rows for the Fig. 9-bottom 3-D mesh view."""
+    n = 0
+    with _open(path) as f:
+        f.write("x,y,z,value\n")
+        for (x, y, z), v in zip(coords, values):
+            if v >= threshold:
+                f.write(f"{x},{y},{z},{v:.3f}\n")
+                n += 1
+    return n
+
+
+def write_job_profile(path: str, profile) -> int:
+    """Fig. 12 data: per-node series plus job-window marker columns."""
+    n = 0
+    with _open(path) as f:
+        f.write("time_s,node,value,in_job\n")
+        for row, node in zip(profile.values, profile.node_indices):
+            for t, v in zip(profile.times, row):
+                if np.isnan(v):
+                    continue
+                in_job = int(profile.start_time <= t < profile.end_time)
+                f.write(f"{t:.1f},{node},{v:.1f},{in_job}\n")
+                n += 1
+    return n

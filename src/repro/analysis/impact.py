@@ -1,0 +1,138 @@
+"""Monitoring-impact statistics for the §V experiments.
+
+The paper's acceptance criterion throughout §V is qualitative but
+checkable: the monitored runtime distribution falls within the
+unmonitored run-to-run variation, and no configuration shows a
+statistically significant shift.  :func:`compare_runs` produces the
+Fig. 6/7 quantities (normalized means and observation ranges);
+:func:`significance` runs Welch's t-test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as sstats
+
+from repro.apps.base import RunResult
+
+__all__ = ["ImpactSummary", "compare_runs", "significance"]
+
+
+@dataclass(frozen=True)
+class ImpactSummary:
+    """One bar (+error bar) of Fig. 6/7: a configuration vs baseline."""
+
+    label: str
+    mean: float
+    lo: float
+    hi: float
+    normalized_mean: float
+    normalized_lo: float
+    normalized_hi: float
+    p_value: float
+    baseline_lo_norm: float = 0.0
+    baseline_hi_norm: float = float("inf")
+
+    @property
+    def significant(self) -> bool:
+        """The paper's criterion (§V-A2): an impact counts only when it
+        is statistically detectable *and* the configuration's observed
+        range lies outside the baseline's observed range ("even when
+        variation of the average is measurable, the variation is within
+        the wide range of observed values")."""
+        disjoint = (self.normalized_lo > self.baseline_hi_norm
+                    or self.normalized_hi < self.baseline_lo_norm)
+        return self.p_value < 0.05 and disjoint
+
+
+def _times(runs: list[RunResult], phase: str | None) -> np.ndarray:
+    if phase is None:
+        return np.array([r.wall_time for r in runs])
+    return np.array([r.phases[phase] for r in runs])
+
+
+def compare_runs(
+    baseline: list[RunResult],
+    monitored: dict[str, list[RunResult]],
+    phase: str | None = None,
+) -> list[ImpactSummary]:
+    """Summaries of each monitored configuration against the baseline.
+
+    Normalization is to the unmonitored average (the Fig. 6 y-axis:
+    "time normalized to unmonitored average").
+    """
+    base = _times(baseline, phase)
+    ref = float(base.mean())
+    base_lo_n = float(base.min() / ref)
+    base_hi_n = float(base.max() / ref)
+    out = [
+        ImpactSummary(
+            label="unmonitored",
+            mean=ref,
+            lo=float(base.min()),
+            hi=float(base.max()),
+            normalized_mean=1.0,
+            normalized_lo=base_lo_n,
+            normalized_hi=base_hi_n,
+            p_value=1.0,
+            baseline_lo_norm=base_lo_n,
+            baseline_hi_norm=base_hi_n,
+        )
+    ]
+    for label, runs in monitored.items():
+        t = _times(runs, phase)
+        out.append(
+            ImpactSummary(
+                label=label,
+                mean=float(t.mean()),
+                lo=float(t.min()),
+                hi=float(t.max()),
+                normalized_mean=float(t.mean() / ref),
+                normalized_lo=float(t.min() / ref),
+                normalized_hi=float(t.max() / ref),
+                p_value=significance(base, t),
+                baseline_lo_norm=base_lo_n,
+                baseline_hi_norm=base_hi_n,
+            )
+        )
+    return out
+
+
+def family_significant(
+    series: dict[str, list[ImpactSummary]], alpha: float = 0.05
+) -> list[tuple[str, str]]:
+    """Family-wise significant impacts across a whole figure.
+
+    The paper draws one conclusion over dozens of benchmark x config
+    comparisons; judging each at alpha=0.05 in isolation would flag
+    ~5% of them by chance even with no effect.  This applies a
+    Bonferroni correction over the family and additionally requires the
+    per-comparison range-disjointness criterion.
+    """
+    m = sum(max(len(summaries) - 1, 0) for summaries in series.values())
+    if m == 0:
+        return []
+    threshold = alpha / m
+    out = []
+    for name, summaries in series.items():
+        for s in summaries:
+            if s.label == "unmonitored":
+                continue
+            disjoint = (s.normalized_lo > s.baseline_hi_norm
+                        or s.normalized_hi < s.baseline_lo_norm)
+            if s.p_value < threshold and disjoint:
+                out.append((name, s.label))
+    return out
+
+
+def significance(a: np.ndarray, b: np.ndarray) -> float:
+    """Welch's t-test p-value (1.0 when either side is degenerate)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.size < 2 or b.size < 2 or (a.std() == 0 and b.std() == 0):
+        return 1.0
+    stat = sstats.ttest_ind(a, b, equal_var=False)
+    p = float(stat.pvalue)
+    return 1.0 if np.isnan(p) else p

@@ -1,0 +1,105 @@
+"""Application profiles: joining stored metrics with scheduler data.
+
+Paper §VI-B: "On Chama, in addition to creating system views we combine
+the system information with scheduler data to build application
+profiles.  A profile for a 64 node job terminated by the OOM killer is
+shown in Figure 12 ... Grey shaded areas are limited pre and post job
+times in order to verify the state of the nodes upon entering and
+exiting the job.  Imbalance and change in resource demands with time
+are apparent."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.scheduler import Job, Scheduler
+from repro.plugins.stores.memstore import MemoryStore
+
+__all__ = ["JobProfile", "build_job_profile"]
+
+
+@dataclass
+class JobProfile:
+    """Per-node time series of one metric over a job's lifetime."""
+
+    job_id: int
+    job_name: str
+    exit_reason: str
+    metric: str
+    times: np.ndarray  # (T,) absolute timestamps
+    values: np.ndarray  # (n_job_nodes, T)
+    node_indices: list[int]
+    start_time: float
+    end_time: float
+    margin: float
+
+    @property
+    def imbalance_ratio(self) -> float:
+        """max/min of per-node means during the job window — the Fig. 12
+        "memory imbalance" quantity."""
+        inside = (self.times >= self.start_time) & (self.times < self.end_time)
+        if not inside.any():
+            return 1.0
+        means = np.nanmean(self.values[:, inside], axis=1)
+        lo = float(np.nanmin(means))
+        return float(np.nanmax(means)) / lo if lo > 0 else float("inf")
+
+    def growth(self) -> np.ndarray:
+        """Per-node (last - first) in-window value: demand change over
+        time."""
+        inside = np.flatnonzero(
+            (self.times >= self.start_time) & (self.times < self.end_time)
+        )
+        if inside.size == 0:
+            return np.zeros(len(self.node_indices))
+        first, last = inside[0], inside[-1]
+        return self.values[:, last] - self.values[:, first]
+
+    def pre_post_quiet(self, idle_ceiling: float) -> bool:
+        """True if every node sat below ``idle_ceiling`` in the pre- and
+        post-job margins (the grey shaded verification windows)."""
+        pre = self.times < self.start_time
+        post = self.times >= self.end_time
+        outside = pre | post
+        if not outside.any():
+            return True
+        vals = self.values[:, outside]
+        return bool(np.nanmax(np.nan_to_num(vals, nan=0.0)) <= idle_ceiling)
+
+
+def build_job_profile(
+    store: MemoryStore,
+    scheduler: Scheduler,
+    job: Job,
+    metric: str = "Active",
+    schema: str = "meminfo",
+    margin: float = 60.0,
+    set_suffix: str = "meminfo",
+) -> JobProfile:
+    """Extract a job's per-node metric series from the store.
+
+    ``set_suffix`` names the per-node metric set (set names are
+    ``n<idx>/<suffix>``, as produced by ``Machine.deploy_ldms``).
+    """
+    if job.start_time is None or job.end_time is None:
+        raise ValueError(f"job {job.job_id} has not run")
+    t0 = job.start_time - margin
+    t1 = job.end_time + margin
+    set_names = [f"n{idx}/{set_suffix}" for idx in job.nodes]
+    times, grid = store.matrix(metric, set_names=set_names, schema=schema)
+    keep = (times >= t0) & (times < t1)
+    return JobProfile(
+        job_id=job.job_id,
+        job_name=job.spec.name,
+        exit_reason=job.exit_reason,
+        metric=metric,
+        times=times[keep],
+        values=grid[:, keep],
+        node_indices=list(job.nodes),
+        start_time=job.start_time,
+        end_time=job.end_time,
+        margin=margin,
+    )

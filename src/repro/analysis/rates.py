@@ -1,0 +1,91 @@
+"""Counter-to-rate conversion for stored time series.
+
+Most LDMS metrics are monotone kernel counters; analyses (Figs. 9-11)
+work on per-interval deltas or rates.  These helpers convert stored
+(timestamps, values) series, handling the artifacts real deployments
+hit:
+
+* **counter wrap** — u64 (or narrower) counters roll over;
+* **counter reset** — a node reboot restarts counters from zero (the
+  delta across a reset is unknowable and must be dropped, not emitted
+  as a huge negative/positive spike);
+* **irregular sampling** — aggregation skips (busy/stale bypasses,
+  §IV-E) leave gaps; rates must use the actual timestamp deltas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["deltas", "rates", "resample"]
+
+
+def deltas(
+    timestamps: np.ndarray,
+    values: np.ndarray,
+    counter_bits: int | None = 64,
+    reset_fraction: float = 0.5,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-interval counter increases.
+
+    Returns (interval-end timestamps, increments), one element shorter
+    than the inputs.  A negative raw delta is interpreted as a wrap
+    when the wrapped value is small relative to the counter range
+    (``(prev -> max) + new < reset_fraction * 2**bits``), else as a
+    reset, which yields NaN for that interval.
+
+    With ``counter_bits=None`` values are treated as gauges and raw
+    differences are returned.
+    """
+    t = np.asarray(timestamps, dtype=np.float64)
+    v = np.asarray(values, dtype=np.float64)
+    if t.shape != v.shape:
+        raise ValueError("timestamps and values must have equal shape")
+    if t.size < 2:
+        return np.empty(0), np.empty(0)
+    d = np.diff(v)
+    if counter_bits is not None:
+        span = float(2**counter_bits)
+        wrapped = d + span
+        is_neg = d < 0
+        take_wrap = is_neg & (wrapped < reset_fraction * span)
+        is_reset = is_neg & ~take_wrap
+        d = np.where(take_wrap, wrapped, d)
+        d = np.where(is_reset, np.nan, d)
+    return t[1:], d
+
+
+def rates(
+    timestamps: np.ndarray,
+    values: np.ndarray,
+    counter_bits: int | None = 64,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-interval rates (increase / actual elapsed seconds)."""
+    t, d = deltas(timestamps, values, counter_bits)
+    if t.size == 0:
+        return t, d
+    dt = np.diff(np.asarray(timestamps, dtype=np.float64))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        r = np.where(dt > 0, d / dt, np.nan)
+    return t, r
+
+
+def resample(
+    timestamps: np.ndarray,
+    values: np.ndarray,
+    grid: np.ndarray,
+) -> np.ndarray:
+    """Last-observation-carried-forward resampling onto a time grid.
+
+    Grid points before the first observation are NaN.  Used to align
+    asynchronous per-node series into the node x time matrices the
+    figures plot.
+    """
+    t = np.asarray(timestamps, dtype=np.float64)
+    v = np.asarray(values, dtype=np.float64)
+    grid = np.asarray(grid, dtype=np.float64)
+    if t.size == 0:
+        return np.full(grid.shape, np.nan)
+    idx = np.searchsorted(t, grid, side="right") - 1
+    out = np.where(idx >= 0, v[np.clip(idx, 0, None)], np.nan)
+    return out

@@ -1,0 +1,91 @@
+"""3-D torus snapshot analysis (Fig. 9 bottom).
+
+The paper shows a system snapshot "in terms of the X, Y, Z network mesh
+coordinates ... Because of the toroidal connectivity, this group wraps
+in X and connects with the group on the left at the same value of Z"
+(label C).  :func:`congestion_regions` finds connected components of
+high-value Geminis under torus (wraparound) adjacency so experiments
+can assert the wrap behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.torus import GeminiTorus
+
+__all__ = ["TorusRegion", "congestion_regions", "region_wraps"]
+
+
+@dataclass(frozen=True)
+class TorusRegion:
+    """A connected set of Geminis above a value threshold."""
+
+    geminis: frozenset[int]
+    max_value: float
+    max_gemini: int
+
+    def __len__(self) -> int:
+        return len(self.geminis)
+
+
+def congestion_regions(
+    torus: GeminiTorus, values: np.ndarray, threshold: float
+) -> list[TorusRegion]:
+    """Connected components (6-neighbour torus adjacency) of Geminis
+    whose value >= threshold, largest first."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.shape != (torus.n_geminis,):
+        raise ValueError(
+            f"expected ({torus.n_geminis},) values, got {values.shape}"
+        )
+    hot = values >= threshold
+    seen = np.zeros(torus.n_geminis, dtype=bool)
+    regions: list[TorusRegion] = []
+    for start in np.flatnonzero(hot):
+        if seen[start]:
+            continue
+        comp = []
+        queue = deque([int(start)])
+        seen[start] = True
+        while queue:
+            g = queue.popleft()
+            comp.append(g)
+            for direction in range(6):
+                n = torus.neighbor(g, direction)
+                if hot[n] and not seen[n]:
+                    seen[n] = True
+                    queue.append(n)
+        local_max = max(comp, key=lambda g: values[g])
+        regions.append(
+            TorusRegion(
+                geminis=frozenset(comp),
+                max_value=float(values[local_max]),
+                max_gemini=int(local_max),
+            )
+        )
+    regions.sort(key=len, reverse=True)
+    return regions
+
+
+def region_wraps(torus: GeminiTorus, region: TorusRegion, dim: int) -> bool:
+    """True if the region uses the torus wrap link in dimension ``dim``
+    (i.e. contains adjacent members at coordinates 0 and size-1)."""
+    size = torus.dims[dim]
+    coords = {torus.coord(g) for g in region.geminis}
+    for c in coords:
+        if c[dim] == size - 1:
+            wrapped = list(c)
+            wrapped[dim] = 0
+            if tuple(wrapped) in coords:
+                return True
+    return False
+
+
+def extent(torus: GeminiTorus, region: TorusRegion, dim: int) -> int:
+    """Number of distinct coordinates the region spans in ``dim``
+    (features "naturally have extent in the X direction", §VI-A1)."""
+    return len({torus.coord(g)[dim] for g in region.geminis})

@@ -1,0 +1,51 @@
+"""Synthetic HPC application models for monitoring-impact studies.
+
+The paper's §V experiments ask one question: *does continuous
+monitoring perturb applications?*  The perturbation channels are
+
+1. **OS noise** — the sampler occupies a core for ~400 us per sampling
+   event; a rank computing on that core is delayed, and bulk-
+   synchronous applications amplify one rank's delay to the whole
+   iteration (Ferreira et al., cited as [26]).
+2. **Network traffic** — aggregation pulls share links with the
+   application ("no net" variants in Fig. 6 isolate this).
+
+These models reproduce the paper's workloads as vectorised NumPy
+computations over (nodes, ranks, iterations):
+
+* :class:`~repro.apps.psnap.Psnap` — the PSNAP noise-profiling loop
+  (Figs. 5, 8): fixed-work loops, histogram of loop durations.
+* BSP applications (Figs. 6, 7): MILC, MiniGhost, IMB AllReduce,
+  LinkTest, Nalu, CTH, Adagio — iteration time = max over nodes of
+  (compute + noise) + communication, with per-app phase structure and
+  calibrated run-to-run variability.
+
+Monitoring is described by :class:`~repro.apps.base.MonitoringSpec`;
+the paper's configurations are provided as constructors
+(``MonitoringSpec.unmonitored()``, ``.interval_1s()``, ...).
+"""
+
+from repro.apps.base import MonitoringSpec, RunResult, BspApp, NoiseModel
+from repro.apps.psnap import Psnap
+from repro.apps.milc import Milc
+from repro.apps.minighost import MiniGhost
+from repro.apps.imb import ImbAllreduce
+from repro.apps.linktest import LinkTest
+from repro.apps.nalu import Nalu
+from repro.apps.cth import Cth
+from repro.apps.adagio import Adagio
+
+__all__ = [
+    "MonitoringSpec",
+    "RunResult",
+    "BspApp",
+    "NoiseModel",
+    "Psnap",
+    "Milc",
+    "MiniGhost",
+    "ImbAllreduce",
+    "LinkTest",
+    "Nalu",
+    "Cth",
+    "Adagio",
+]

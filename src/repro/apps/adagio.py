@@ -1,0 +1,55 @@
+"""Adagio: Sierra/SolidMechanics implicit finite elements (§V-B2).
+
+"Adagio is a Lagrangian, three-dimensional code for finite element
+analysis of solids and structures built on the Sierra Framework.  The
+model used studies the high velocity impact of a conical war-head ...
+Restart files are dumped to the high speed Lustre I/O subsystem ...  A
+large fraction of the computation time is in the contact mechanics
+which stresses the communications fabric.  The combination of the
+computations, communications and I/O characteristics make this a good
+application to investigate the impact of LDMS."
+
+Chama "shares its Lustre file system with another cluster, which may
+have caused contention" — modelled as a heavy-tailed I/O phase whose
+variability dominates monitoring effects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import BspApp, MonitoringSpec, RunResult
+
+__all__ = ["Adagio"]
+
+
+class Adagio(BspApp):
+    name = "Adagio"
+    # Defaults model the 1,024-PE (64-node) member; 512 PE => n_nodes=32.
+    n_nodes = 64
+    ranks_per_node = 16
+    iterations = 150
+    compute_time = 0.60
+    comm_time = 0.40  # contact search stresses the fabric
+    imbalance_sigma = 0.03
+    comm_sigma = 0.06
+    run_sigma = 0.02
+    net_sensitivity = 1.2
+    phase_fractions = {"contact": 0.7, "solve": 0.3}
+
+    #: restart dump every N iterations; duration lognormal (shared
+    #: Lustre contention, §V-B intro).
+    io_every = 25
+    io_mean = 8.0
+    io_sigma = 0.5
+
+    def run(self, spec: MonitoringSpec, rng: np.random.Generator) -> RunResult:
+        result = super().run(spec, rng)
+        n_dumps = self.iterations // self.io_every
+        io_time = float(
+            np.sum(self.io_mean * rng.lognormal(0.0, self.io_sigma, n_dumps))
+            / np.exp(self.io_sigma**2 / 2)
+        )
+        result.wall_time += io_time
+        result.phases["io"] = io_time
+        return result

@@ -1,0 +1,36 @@
+"""CTH: shock physics with AMR (§V-B3).
+
+"CTH is a multi-material, large deformation, strong shock wave, solid
+mechanics code ... a 3D shock physics problem with adaptive mesh
+refinement ... processors exchange large messages (several MB in size)
+with up to six other processors in the domain, with a few small message
+MPI Allreduce operations.  CTH is sensitive to both node and network
+slowdown."  The 1,024-core run executes 600 steps; the 7,200-core run
+1,200 steps targeting ~18 minutes.  "LDMS monitoring appears to have no
+effect on the run time of these CTH jobs."
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import BspApp
+
+__all__ = ["Cth"]
+
+
+class Cth(BspApp):
+    name = "CTH"
+    # Defaults model the 7,200-PE (450-node) member; the 1,024-PE member
+    # passes n_nodes=64, iterations=600.
+    n_nodes = 450
+    ranks_per_node = 16
+    iterations = 1200
+    compute_time = 0.55
+    comm_time = 0.35  # several-MB neighbour exchanges
+    imbalance_sigma = 0.04  # AMR imbalance
+    comm_sigma = 0.05
+    run_sigma = 0.02
+    net_sensitivity = 1.8
+    phase_fractions = {
+        "exchange": 0.80,
+        "allreduce": 0.20,
+    }

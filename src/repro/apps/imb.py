@@ -1,0 +1,33 @@
+"""Intel MPI Benchmarks AllReduce (§V-A5).
+
+"We tested the Intel MPI benchmark (IMB) for MPI AllReduce on a set of
+2744 nodes ... topology optimized for maximum network performance.
+This test used a 64B payload and 24 tasks per node.  Overall, there is
+not a correlating impact with the LDMS variants."
+
+Pure communication: compute is negligible; every iteration is one
+64-byte allreduce whose latency is dominated by tree depth and the
+slowest participant (so any node's sampler fire during the operation
+extends it — but a 64 B allreduce takes ~20 us, making collisions
+rare).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import BspApp
+
+__all__ = ["ImbAllreduce"]
+
+
+class ImbAllreduce(BspApp):
+    name = "IMB Allreduce"
+    n_nodes = 2744
+    ranks_per_node = 24
+    iterations = 1000
+    compute_time = 1e-6  # essentially none
+    comm_time = 25e-6  # 64B allreduce at scale
+    imbalance_sigma = 0.02
+    comm_sigma = 0.10  # collectives are noisy
+    run_sigma = 0.015
+    net_sensitivity = 2.0
+    phase_fractions = {"allreduce": 1.0}

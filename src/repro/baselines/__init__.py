@@ -1,0 +1,27 @@
+"""Comparison baselines (paper §IV-E related work).
+
+* :mod:`repro.baselines.ganglia` — a faithful model of Ganglia's
+  architecture: per-metric collection (each metric re-reads and
+  re-parses its source file), push-model transmission carrying
+  metadata with every send, value/time thresholding, and RRDTool
+  storage that ages data out.
+* :mod:`repro.baselines.rrd` — the round-robin database: fixed-size
+  archives with consolidation, so long-term storage loses fidelity
+  (the paper's motivation for LDMS's append stores).
+* :mod:`repro.baselines.collectl` — a collectl-like single-host
+  recorder: subsecond capable, file/socket output, but no transport or
+  aggregation infrastructure.
+"""
+
+from repro.baselines.ganglia import Gmond, Gmetad, GangliaMetric
+from repro.baselines.rrd import RoundRobinDatabase, RRArchive
+from repro.baselines.collectl import Collectl
+
+__all__ = [
+    "Gmond",
+    "Gmetad",
+    "GangliaMetric",
+    "RoundRobinDatabase",
+    "RRArchive",
+    "Collectl",
+]

@@ -1,0 +1,67 @@
+"""A collectl-like single-host recorder (paper §IV-E2).
+
+"Collectl and sar are single host tools for collecting and reporting
+monitoring values.  Neither include transport and aggregation
+infrastructure.  Both can continuously write to a file or display;
+collectl can also write to a socket ... Only collectl supports
+subsecond collection intervals."
+
+This model reads the same /proc sources as the LDMS plugins but has no
+metric sets, no pull protocol, and no aggregation — output is formatted
+text to a file or socket-like sink, which is what makes programmatic
+use awkward (an application would have to exec it and parse the text).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TextIO
+
+from repro.nodefs.fs import FileSystem
+from repro.plugins.samplers import parsers
+
+__all__ = ["Collectl"]
+
+
+class Collectl:
+    """Single-host recorder: cpu + memory subsystems, text output."""
+
+    def __init__(self, fs: FileSystem, sink: TextIO | Callable[[str], None]):
+        self.fs = fs
+        self._write = sink if callable(sink) else sink.write
+        self.samples = 0
+        self._prev_cpu: dict[str, int] | None = None
+
+    def sample(self, now: float) -> str:
+        """Take one sample; returns (and emits) the formatted line."""
+        stat = parsers.parse_proc_stat(self.fs.read("/proc/stat"))
+        mem = parsers.parse_meminfo(self.fs.read("/proc/meminfo"))
+        if self._prev_cpu is not None:
+            d = {k: stat.get(k, 0) - self._prev_cpu.get(k, 0)
+                 for k in ("cpu_user", "cpu_sys", "cpu_idle", "cpu_iowait")}
+            total = max(sum(d.values()), 1)
+            cpu_part = (f"cpu user={100*d['cpu_user']//total}% "
+                        f"sys={100*d['cpu_sys']//total}% "
+                        f"wait={100*d['cpu_iowait']//total}%")
+        else:
+            cpu_part = "cpu user=0% sys=0% wait=0%"
+        self._prev_cpu = stat
+        line = (f"{now:.3f} {cpu_part} "
+                f"mem free={mem.get('MemFree', 0)}kB active={mem.get('Active', 0)}kB\n")
+        self._write(line)
+        self.samples += 1
+        return line
+
+    def record(self, clock: Callable[[], float], advance: Callable[[float], None],
+               duration: float, interval: float) -> int:
+        """Drive sampling over a (simulated) window; returns sample count.
+
+        ``advance(dt)`` moves the clock (in tests, the simulation
+        engine).  Subsecond intervals are supported, unlike sar.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        steps = int(round(duration / interval))
+        for _ in range(steps):
+            self.sample(clock())
+            advance(interval)
+        return self.samples

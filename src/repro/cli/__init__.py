@@ -1,0 +1,8 @@
+"""Command-line tools mirroring the LDMS binaries.
+
+* ``ldmsd-repro`` — run a daemon (sampler and/or aggregator) with a
+  UNIX-socket control channel and optional startup script.
+* ``ldmsctl-repro`` — issue control commands to a running daemon.
+* ``ldms-ls-repro`` — list (and optionally read) the metric sets a
+  daemon publishes, over TCP.
+"""

@@ -1,0 +1,117 @@
+"""``ldms-ls-repro``: list a daemon's metric sets over TCP.
+
+Mirrors LDMS's ``ldms_ls``: bare invocation prints set names and
+geometry; ``-l`` also performs a lookup + data read and prints current
+metric values.
+
+    ldms-ls-repro --host 127.0.0.1 --port 10411 -l
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+
+from repro.core import wire
+from repro.core.memory import Arena
+from repro.core.metric_set import MetricSet
+from repro.transport.sock import SockTransport
+
+__all__ = ["main"]
+
+
+class _SyncClient:
+    """Blocking request/reply wrapper over the callback endpoint API."""
+
+    def __init__(self, host: str, port: int, timeout: float = 5.0):
+        self.timeout = timeout
+        done = threading.Event()
+        holder = {}
+
+        def connected(ep):
+            holder["ep"] = ep
+            done.set()
+
+        SockTransport().connect((host, port), connected)
+        if not done.wait(timeout) or holder.get("ep") is None:
+            raise ConnectionError(f"cannot connect to {host}:{port}")
+        self.ep = holder["ep"]
+        self._reply = None
+        self._have = threading.Event()
+        self.ep.on_message = self._on_message
+
+    def _on_message(self, raw: bytes) -> None:
+        self._reply = wire.decode_frame(raw)
+        self._have.set()
+
+    def request(self, frame: bytes) -> wire.Frame:
+        self._have.clear()
+        self.ep.send(frame)
+        if not self._have.wait(self.timeout):
+            raise TimeoutError("no reply from daemon")
+        return self._reply
+
+    def read_region(self, region_id: int) -> bytes | None:
+        holder = {}
+        done = threading.Event()
+
+        def complete(data):
+            holder["data"] = data
+            done.set()
+
+        self.ep.rdma_read(region_id, complete)
+        if not done.wait(self.timeout):
+            raise TimeoutError("region read timed out")
+        return holder.get("data")
+
+    def close(self) -> None:
+        self.ep.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(prog="ldms-ls-repro",
+                                description="List a daemon's metric sets.")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument("-l", "--long", action="store_true",
+                   help="also read and print current metric values")
+    args = p.parse_args(argv)
+
+    client = _SyncClient(args.host, args.port)
+    try:
+        reply = client.request(wire.encode_frame(wire.MsgType.DIR_REQ, 1))
+        infos = wire.unpack_dir_reply(reply.payload)
+        if not infos:
+            print("(no metric sets)")
+            return 0
+        for info in infos:
+            print(f"{info.name}  schema={info.schema}  card={info.card}  "
+                  f"meta={info.meta_size}B data={info.data_size}B")
+            if not args.long:
+                continue
+            lreply = client.request(
+                wire.encode_frame(wire.MsgType.LOOKUP_REQ, 2,
+                                  wire.pack_lookup_req(info.name))
+            )
+            status, region_id, meta = wire.unpack_lookup_reply(lreply.payload)
+            if status != wire.E_OK:
+                print("  (lookup failed)")
+                continue
+            mirror = MetricSet.from_meta(meta, Arena(info.total_size * 2 + 4096))
+            data = client.read_region(region_id)
+            if data is None:
+                print("  (read failed)")
+                continue
+            mirror.apply_data(data)
+            flag = "consistent" if mirror.is_consistent else "INCONSISTENT"
+            print(f"  ts={mirror.timestamp:.6f} dgn={mirror.dgn} [{flag}]")
+            for name, value in mirror.as_dict().items():
+                print(f"    {name:40s} {value}")
+    finally:
+        client.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

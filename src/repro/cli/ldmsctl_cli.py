@@ -1,0 +1,59 @@
+"""``ldmsctl-repro``: control a running daemon over its UNIX socket.
+
+One-shot::
+
+    ldmsctl-repro --socket /tmp/node0.ctl "stats"
+
+Interactive (reads commands from stdin)::
+
+    ldmsctl-repro --socket /tmp/node0.ctl
+"""
+
+from __future__ import annotations
+
+import argparse
+import socket
+import sys
+
+__all__ = ["main"]
+
+
+def send_command(path: str, line: str, timeout: float = 5.0) -> str:
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+        s.settimeout(timeout)
+        s.connect(path)
+        s.sendall(line.encode("utf-8") + b"\n")
+        buf = b""
+        while not buf.endswith(b"\n"):
+            chunk = s.recv(4096)
+            if not chunk:
+                break
+            buf += chunk
+    return buf.decode("utf-8").rstrip("\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(prog="ldmsctl-repro",
+                                description="Control a running ldmsd-repro.")
+    p.add_argument("--socket", required=True, help="daemon control socket")
+    p.add_argument("command", nargs="*",
+                   help="command to send (omit for interactive mode)")
+    args = p.parse_args(argv)
+
+    if args.command:
+        reply = send_command(args.socket, " ".join(args.command))
+        print(reply)
+        return 0 if reply.startswith("0") else 1
+
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        if line in ("quit", "exit"):
+            break
+        print(send_command(args.socket, line))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

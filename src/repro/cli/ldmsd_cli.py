@@ -1,0 +1,101 @@
+"""``ldmsd-repro``: run an LDMS daemon on this host.
+
+Examples
+--------
+Run a sampler with meminfo at 1 s, listening on TCP 10411::
+
+    ldmsd-repro --name node0 --port 10411 --socket /tmp/node0.ctl \\
+        --cmd "load name=meminfo" \\
+        --cmd "config name=meminfo instance=node0/meminfo component_id=1" \\
+        --cmd "start name=node0/meminfo interval=1000000"
+
+Then control it live::
+
+    ldmsctl-repro --socket /tmp/node0.ctl stats
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+
+import repro.plugins  # noqa: F401  (register plugins)
+from repro.core import Ldmsd
+from repro.core.control import ControlChannel, UnixControlServer
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="ldmsd-repro",
+        description="Run an LDMS daemon (reproduction).",
+    )
+    p.add_argument("--name", default="ldmsd", help="daemon name")
+    p.add_argument("--xprt", default="sock", choices=["sock"],
+                   help="listening transport (real mode supports sock)")
+    p.add_argument("--host", default="127.0.0.1", help="listen address")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port (0 = ephemeral, printed at start)")
+    p.add_argument("--mem", default="2MB",
+                   help="metric-set memory (ldmsd -m), e.g. 512kB")
+    p.add_argument("--workers", type=int, default=4,
+                   help="worker thread pool size")
+    p.add_argument("--socket", default=None,
+                   help="UNIX control socket path (ldmsctl endpoint)")
+    p.add_argument("--cmd", action="append", default=[],
+                   help="control command to run at startup (repeatable)")
+    p.add_argument("--script", default=None,
+                   help="file of control commands to run at startup")
+    p.add_argument("--duration", type=float, default=None,
+                   help="exit after this many seconds (default: run forever)")
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    daemon = Ldmsd(args.name, mem=args.mem, workers=args.workers)
+    channel = ControlChannel(daemon)
+
+    listener = daemon.listen(args.xprt, (args.host, args.port))
+    print(f"ldmsd-repro {args.name}: listening on "
+          f"{args.host}:{getattr(listener, 'port', args.port)}", flush=True)
+
+    commands = list(args.cmd)
+    if args.script:
+        with open(args.script, "r", encoding="utf-8") as f:
+            commands.extend(
+                line for line in (ln.strip() for ln in f)
+                if line and not line.startswith("#")
+            )
+    for command in commands:
+        reply = channel.handle(command)
+        print(f"ldmsd-repro: {command!r} -> {reply}", flush=True)
+        if reply.startswith("E"):
+            daemon.shutdown()
+            return 1
+
+    server = None
+    if args.socket:
+        server = UnixControlServer(channel, args.socket)
+        print(f"ldmsd-repro: control socket at {args.socket}", flush=True)
+
+    stop = threading.Event()
+
+    def handle_signal(_sig, _frm):
+        stop.set()
+
+    signal.signal(signal.SIGINT, handle_signal)
+    signal.signal(signal.SIGTERM, handle_signal)
+    stop.wait(timeout=args.duration)
+
+    if server is not None:
+        server.close()
+    daemon.shutdown()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Cluster models: nodes, machines, jobs, scheduling.
+
+:class:`~repro.cluster.machine.Machine` assembles the substrates into a
+simulated HPC system — per-node :class:`~repro.nodefs.host.HostModel`
+counter state, a network model, a shared DES engine/fabric — and can
+deploy a full LDMS hierarchy (sampler ldmsd per node, aggregator
+levels, stores) onto it with one call.
+
+Builders for the paper's two deployments:
+
+* :func:`~repro.cluster.machine.blue_waters` — Gemini 3-D torus,
+  2 nodes/Gemini, gpcdr HSN counters, 1-minute production sampling.
+* :func:`~repro.cluster.machine.chama` — 1,296-node IB fat-tree
+  capacity cluster, 7 metric sets per node, 20-second sampling.
+
+Both accept a scale factor so DES experiments run at tractable node
+counts while full-machine 24-hour traces use the vectorised fleet path
+(:mod:`repro.sim.fleet`).
+"""
+
+from repro.cluster.node import Node
+from repro.cluster.machine import Machine, blue_waters, chama
+from repro.cluster.scheduler import Scheduler, JobSpec, Job, JobState
+
+__all__ = [
+    "Node",
+    "Machine",
+    "blue_waters",
+    "chama",
+    "Scheduler",
+    "JobSpec",
+    "Job",
+    "JobState",
+]

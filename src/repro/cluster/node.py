@@ -1,0 +1,66 @@
+"""A simulated compute (or service) node."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.nodefs.fs import SynthFS
+from repro.nodefs.gpcdr import GpcdrModel
+from repro.nodefs.host import HostModel, HostProfile
+from repro.sim.resources import CpuCore
+
+__all__ = ["Node"]
+
+
+@dataclass
+class Node:
+    """One node: counter state, cores, and (optionally) an ldmsd.
+
+    Attributes
+    ----------
+    index:
+        Machine-wide node index (doubles as the LDMS component id + 1).
+    host:
+        The /proc counter model.
+    fs:
+        The node's synthetic file tree (shared with ``host``/``gpcdr``).
+    cores:
+        One :class:`CpuCore` per CPU; monitoring noise lands on these
+        and application models read it back out.
+    gpcdr:
+        HSN counter model (torus machines only).
+    daemon:
+        The sampler ldmsd deployed on the node, if any.
+    """
+
+    index: int
+    name: str
+    host: HostModel
+    fs: SynthFS
+    cores: list[CpuCore] = field(default_factory=list)
+    gpcdr: Optional[GpcdrModel] = None
+    daemon: object = None  # Ldmsd; untyped to avoid an import cycle
+    job_id: Optional[int] = None  # currently running job
+
+    @property
+    def profile(self) -> HostProfile:
+        return self.host.profile
+
+    @property
+    def ncpus(self) -> int:
+        return self.host.profile.ncpus
+
+    @property
+    def mem_total_kb(self) -> int:
+        return self.host.profile.mem_total_kb
+
+    def mem_used_kb(self) -> int:
+        h = self.host
+        return int(h.mem_active_kb + h.mem_cached_kb + h.mem_used_extra_kb)
+
+    @property
+    def daemon_core(self) -> Optional[CpuCore]:
+        """The core monitoring work is charged to (core 0 by convention;
+        ldmsd is run per node, not per core, and may be bound, §IV-D)."""
+        return self.cores[0] if self.cores else None

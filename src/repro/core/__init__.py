@@ -1,0 +1,40 @@
+"""LDMS core: metric sets, daemon, sampler/aggregator/store frameworks.
+
+The public surface re-exported here is what a downstream user needs to
+build a monitoring deployment:
+
+>>> from repro.core import Ldmsd, MetricSet, MetricType
+"""
+
+from repro.core.metric import MetricType, MetricDesc
+from repro.core.memory import Arena
+from repro.core.metric_set import MetricSet, SetInfo
+from repro.core.env import Env, RealEnv, SimEnv
+from repro.core.sampler import SamplerPlugin, sampler_registry, register_sampler
+from repro.core.store import StorePlugin, store_registry, register_store, StoreRecord
+from repro.core.ldmsd import Ldmsd
+from repro.core.aggregator import ProducerConfig, UpdaterState
+from repro.core.control import ControlChannel, parse_command
+
+__all__ = [
+    "MetricType",
+    "MetricDesc",
+    "Arena",
+    "MetricSet",
+    "SetInfo",
+    "Env",
+    "RealEnv",
+    "SimEnv",
+    "SamplerPlugin",
+    "sampler_registry",
+    "register_sampler",
+    "StorePlugin",
+    "store_registry",
+    "register_store",
+    "StoreRecord",
+    "Ldmsd",
+    "ProducerConfig",
+    "UpdaterState",
+    "ControlChannel",
+    "parse_command",
+]

@@ -1,0 +1,398 @@
+"""Aggregator-side state machines: producers, lookups, updates.
+
+An aggregator ldmsd maintains one :class:`Producer` per collection
+target (a sampler or another aggregator).  Per target it runs the
+protocol of paper Fig. 2:
+
+* connect (on the connection thread pool — kept separate from the
+  update workers so connect timeouts on problem nodes cannot starve
+  collection, §IV-B);
+* lookup each configured metric set → build a local mirror from the
+  metadata reply {c};
+* on each collection interval, pull the data chunk {e}/{f} — a
+  one-sided read that consumes no sampler CPU on RDMA transports;
+* validate: MGN match (else re-lookup), consistent flag set and DGN
+  advanced (else skip storage, §IV-A);
+* hand fresh consistent records to the store layer {i}.
+
+Non-reporting hosts are bypassed (an update already in flight is not
+re-issued) and retried on the next interval.  *Standby* producers are
+connected and looked-up but not pulled until explicitly activated —
+the failover mechanism of §IV-B, which the paper notes is driven by an
+external watchdog, not by the aggregator itself.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.core import wire
+from repro.core.metric_set import MetricSet, SchemaMismatch, SetInfo
+from repro.transport.base import Endpoint
+from repro.util.errors import OutOfMemory
+from repro.util.rngtools import stable_seed
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.ldmsd import Ldmsd
+
+__all__ = ["ProducerConfig", "Producer", "UpdaterState", "SetState", "UpdateStats"]
+
+
+@dataclass(frozen=True)
+class ProducerConfig:
+    """Configuration of one collection target.
+
+    ``sets=()`` means "discover via DIR and collect everything".  The
+    collection ``interval`` cannot be changed after the producer is
+    added (the paper: "the aggregation schedule cannot be altered once
+    set without restarting the aggregator").  ``offset`` non-None makes
+    collection synchronous (aligned to wall-clock multiples of the
+    interval plus offset).
+    """
+
+    name: str
+    xprt: str
+    addr: object
+    interval: float
+    sets: tuple[str, ...] = ()
+    offset: Optional[float] = None
+    standby: bool = False
+    reconnect_interval: float = 2.0
+    #: Passive producers don't dial out; the sampler connects to the
+    #: aggregator and advertises itself (asymmetric network access,
+    #: §IV-B: "mechanisms to enable initiation of a connection from
+    #: either side").  ``addr`` is unused for passive producers.
+    passive: bool = False
+
+
+class SetState(enum.Enum):
+    NEW = "new"
+    LOOKUP_PENDING = "lookup"
+    READY = "ready"
+
+
+@dataclass
+class UpdateStats:
+    lookups_sent: int = 0
+    lookups_failed: int = 0
+    updates_issued: int = 0
+    updates_completed: int = 0
+    updates_failed: int = 0
+    skipped_stale: int = 0  # DGN unchanged since last store
+    skipped_inconsistent: int = 0  # torn read: consistent flag clear
+    skipped_busy: int = 0  # previous update still in flight (bypass)
+    schema_refreshes: int = 0  # MGN mismatch forced a re-lookup
+    stored: int = 0
+
+
+@dataclass
+class UpdaterState:
+    """Per-(producer, set) collection state."""
+
+    set_name: str
+    state: SetState = SetState.NEW
+    mirror: Optional[MetricSet] = None
+    region_id: int = 0
+    last_dgn: Optional[int] = None
+    in_flight: bool = False
+
+
+class Producer:
+    """Runtime state of one collection target inside an aggregator."""
+
+    def __init__(self, daemon: "Ldmsd", cfg: ProducerConfig):
+        self.daemon = daemon
+        self.cfg = cfg
+        self.endpoint: Optional[Endpoint] = None
+        self.connecting = False
+        self.active = not cfg.standby  # standby producers don't pull
+        self.updaters: dict[str, UpdaterState] = {
+            name: UpdaterState(name) for name in cfg.sets
+        }
+        self.stats = UpdateStats()
+        self._timer = None
+        self._reconnect_handle = None
+        self._next_req_id = 1
+        self._pending_lookups: dict[int, str] = {}  # req_id -> set name
+        self.stopped = False
+
+    # ------------------------------------------------------------------
+    # connection management
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self.cfg.passive:
+            return  # wait for the sampler to advertise
+        self._connect()
+
+    def attach(self, endpoint: Endpoint) -> None:
+        """Bind an incoming (advertised) connection to this producer."""
+        if self.endpoint is not None and not self.endpoint.closed:
+            self.endpoint.close()
+        self.endpoint = endpoint
+        endpoint.on_message = self._on_message_locked
+        endpoint.on_close = self._on_close
+        self._start_timer()
+        if not self.updaters:
+            endpoint.send(wire.encode_frame(wire.MsgType.DIR_REQ, 0))
+        else:
+            for name in self.updaters:
+                self._send_lookup(name)
+
+    def _start_timer(self) -> None:
+        """Arm the periodic update loop (first successful connect only).
+
+        The first tick is additionally phase-shifted by a deterministic
+        per-producer offset (derived from the producer name) so that
+        periodic pulls across a deployment neither thundering-herd the
+        aggregator nor sit exactly on top of the samplers' transaction
+        windows — both would otherwise happen because daemons booted
+        together share timer phases.
+        """
+        if self._timer is not None:
+            return
+        jitter = (stable_seed("producer-phase", self.cfg.name) % 997) / 997.0
+        phase = jitter * min(self.cfg.interval * 0.25, 0.25)
+
+        def arm() -> None:
+            if self.stopped or self._timer is not None:
+                return
+            self._timer = self.daemon.env.call_every(
+                self.cfg.interval,
+                self._tick,
+                synchronous=self.cfg.offset is not None,
+                offset=self.cfg.offset or 0.0,
+            )
+
+        self.daemon.env.call_later(phase, arm)
+
+    def stop(self) -> None:
+        self.stopped = True
+        if self._timer is not None:
+            self._timer.cancel()
+        if self._reconnect_handle is not None:
+            self._reconnect_handle.cancel()
+        if self.endpoint is not None:
+            self.endpoint.close()
+            self.endpoint = None
+        self._drop_mirrors()
+
+    def activate(self) -> None:
+        """Promote a standby producer: begin pulling on the next tick."""
+        self.active = True
+
+    def deactivate(self) -> None:
+        self.active = False
+
+    @property
+    def connected(self) -> bool:
+        return self.endpoint is not None and not self.endpoint.closed
+
+    def _connect(self) -> None:
+        if self.stopped or self.connecting or self.connected:
+            return
+        self.connecting = True
+        xprt = self.daemon.transports[self.cfg.xprt]
+
+        def attempt() -> None:
+            xprt.connect(self.cfg.addr, self._on_connected)
+
+        # Connection setup runs on the dedicated connection pool so a
+        # target stuck in timeout cannot starve update workers (§IV-B).
+        self.daemon.conn_pool.submit(
+            attempt, cost=self.daemon.connect_cpu_cost, core=self.daemon.core, tag="agg-conn"
+        )
+
+    def _on_connected(self, endpoint: Optional[Endpoint]) -> None:
+        with self.daemon.lock:
+            self.connecting = False
+            if self.stopped:
+                if endpoint is not None:
+                    endpoint.close()
+                return
+            if endpoint is None:
+                self._schedule_reconnect()
+                return
+            self.endpoint = endpoint
+            endpoint.on_message = self._on_message_locked
+            endpoint.on_close = self._on_close
+            self._start_timer()
+            if not self.updaters:
+                # Discover the target's sets first.
+                endpoint.send(wire.encode_frame(wire.MsgType.DIR_REQ, 0))
+            else:
+                for name in self.updaters:
+                    self._send_lookup(name)
+
+    def _on_close(self) -> None:
+        with self.daemon.lock:
+            self.endpoint = None
+            self._pending_lookups.clear()
+            self._drop_mirrors()
+            if not self.stopped and not self.cfg.passive:
+                # Passive producers wait for the sampler to re-advertise.
+                self._schedule_reconnect()
+
+    def _schedule_reconnect(self) -> None:
+        if self.stopped or self._reconnect_handle is not None:
+            return
+
+        def retry() -> None:
+            self._reconnect_handle = None
+            self._connect()
+
+        self._reconnect_handle = self.daemon.env.call_later(
+            self.cfg.reconnect_interval, retry
+        )
+
+    def _drop_mirrors(self) -> None:
+        for upd in self.updaters.values():
+            if upd.mirror is not None:
+                self.daemon._unregister_mirror(upd.mirror)
+                upd.mirror.delete()
+            upd.mirror = None
+            upd.state = SetState.NEW
+            upd.in_flight = False
+
+    # ------------------------------------------------------------------
+    # protocol
+    # ------------------------------------------------------------------
+    def _send_lookup(self, set_name: str) -> None:
+        if self.endpoint is None:
+            return
+        upd = self.updaters[set_name]
+        upd.state = SetState.LOOKUP_PENDING
+        rid = self._next_req_id
+        self._next_req_id += 1
+        self._pending_lookups[rid] = set_name
+        self.stats.lookups_sent += 1
+        self.endpoint.send(
+            wire.encode_frame(wire.MsgType.LOOKUP_REQ, rid, wire.pack_lookup_req(set_name))
+        )
+
+    def _on_message_locked(self, raw: bytes) -> None:
+        with self.daemon.lock:
+            self._on_message(raw)
+
+    def _on_message(self, raw: bytes) -> None:
+        frame = wire.decode_frame(raw)
+        if frame.msg_type == wire.MsgType.DIR_REPLY:
+            infos = wire.unpack_dir_reply(frame.payload)
+            for info in infos:
+                if info.name not in self.updaters:
+                    self.updaters[info.name] = UpdaterState(info.name)
+                    self._send_lookup(info.name)
+        elif frame.msg_type == wire.MsgType.LOOKUP_REPLY:
+            set_name = self._pending_lookups.pop(frame.request_id, None)
+            if set_name is None:
+                return
+            status, region_id, meta = wire.unpack_lookup_reply(frame.payload)
+            upd = self.updaters.get(set_name)
+            if upd is None:
+                return
+            if status != wire.E_OK:
+                # Set not there yet: retry lookup on the next update loop
+                # (paper Fig. 2: "keep performing lookup in the next
+                # update loop").
+                self.stats.lookups_failed += 1
+                upd.state = SetState.NEW
+                return
+            if upd.mirror is not None:
+                self.daemon._unregister_mirror(upd.mirror)
+                upd.mirror.delete()
+                upd.mirror = None
+            try:
+                upd.mirror = MetricSet.from_meta(meta, self.daemon.arena)
+            except OutOfMemory:
+                # The aggregator's metric-set memory (-m) is exhausted;
+                # behave like ldmsd: the set cannot be mirrored until
+                # memory frees up, so retry the lookup on later loops.
+                self.stats.lookups_failed += 1
+                upd.state = SetState.NEW
+                return
+            upd.region_id = region_id
+            upd.state = SetState.READY
+            upd.last_dgn = None
+            self.daemon._on_lookup_complete(self, upd)
+
+    # ------------------------------------------------------------------
+    # the update loop
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        with self.daemon.lock:
+            if self.stopped:
+                return
+            if not self.connected:
+                if not self.cfg.passive:
+                    self._connect()
+                return
+            if not self.active:
+                return
+            if not self.updaters and self.endpoint is not None:
+                # Discovery found nothing yet (e.g. the target is an
+                # aggregator whose own lookups had not completed when we
+                # connected): retry the directory query.
+                self.endpoint.send(wire.encode_frame(wire.MsgType.DIR_REQ, 0))
+                return
+            for upd in list(self.updaters.values()):
+                if upd.state is SetState.NEW:
+                    self._send_lookup(upd.set_name)
+                elif upd.state is SetState.READY:
+                    self._issue_update(upd)
+
+    def _issue_update(self, upd: UpdaterState) -> None:
+        if upd.in_flight:
+            # Bypass non-reporting target; retry next interval (§IV-E).
+            self.stats.skipped_busy += 1
+            return
+        endpoint = self.endpoint
+        if endpoint is None:
+            return
+        upd.in_flight = True
+        self.stats.updates_issued += 1
+
+        def on_data(data: Optional[bytes]) -> None:
+            # Completion runs on an update worker.
+            self.daemon.worker_pool.submit(
+                lambda: self._complete_update(upd, data),
+                cost=self.daemon.update_cpu_cost,
+                core=self.daemon.core,
+                tag="agg-update",
+            )
+
+        endpoint.rdma_read(upd.region_id, on_data)
+
+    def _complete_update(self, upd: UpdaterState, data: Optional[bytes]) -> None:
+        with self.daemon.lock:
+            upd.in_flight = False
+            if self.stopped or upd.mirror is None:
+                return
+            if data is None:
+                self.stats.updates_failed += 1
+                return
+            self.stats.updates_completed += 1
+            try:
+                upd.mirror.apply_data(data)
+            except SchemaMismatch:
+                # Metadata changed on the producer; refresh it.
+                self.stats.schema_refreshes += 1
+                self._send_lookup(upd.set_name)
+                return
+            except ValueError:
+                # Malformed fetch (e.g. the producer deleted the set and
+                # the region now reads empty): count as failed, retry via
+                # lookup next tick.
+                self.stats.updates_failed += 1
+                upd.state = SetState.NEW
+                return
+            if not upd.mirror.is_consistent:
+                self.stats.skipped_inconsistent += 1
+                return
+            dgn = upd.mirror.dgn
+            if upd.last_dgn is not None and dgn == upd.last_dgn:
+                self.stats.skipped_stale += 1
+                return
+            upd.last_dgn = dgn
+            self.stats.stored += 1
+            self.daemon._deliver_to_stores(self, upd.mirror)

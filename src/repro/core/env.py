@@ -1,0 +1,353 @@
+"""Execution environments: real threads vs discrete-event simulation.
+
+``ldmsd`` is written against this small interface so the identical
+daemon logic runs
+
+* on a real machine (``RealEnv``: a scheduler thread + ``heapq``, real
+  wall clock, ``threading.ThreadPoolExecutor``-style workers), and
+* inside the simulator (``SimEnv``: the :class:`repro.sim.Engine` clock,
+  worker pools modelled as counted resources, and task execution that
+  *advances simulated time* by a declared cost and charges that cost to
+  a CPU core as OS noise).
+
+The daemon is callback-driven; in RealEnv all callbacks are serialized
+under a single daemon lock supplied by the environment, which keeps the
+shared-state discipline identical in both modes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Engine, Event
+from repro.sim.resources import CpuCore, Resource
+from repro.util.errors import SimulationError
+
+__all__ = ["Env", "RealEnv", "SimEnv", "TaskHandle", "WorkerPool"]
+
+
+class TaskHandle:
+    """Cancellable handle for a scheduled callback."""
+
+    __slots__ = ("_cancel", "cancelled")
+
+    def __init__(self, cancel: Callable[[], None]):
+        self._cancel = cancel
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        if not self.cancelled:
+            self.cancelled = True
+            self._cancel()
+
+
+class WorkerPool:
+    """Abstract worker pool (ldmsd worker / connection / flush threads)."""
+
+    name: str
+    size: int
+
+    def submit(
+        self,
+        fn: Callable[[], Any],
+        cost: float = 0.0,
+        core: Optional[CpuCore] = None,
+        tag: str = "ldmsd",
+        on_start: Optional[Callable[[], Any]] = None,
+    ) -> None:
+        """Run ``fn`` on a pool worker.
+
+        ``cost``/``core``/``tag`` are simulation annotations: the task
+        occupies a worker for ``cost`` simulated seconds and records that
+        busy time on ``core`` (for noise accounting).  RealEnv ignores
+        them — real work has real cost.
+
+        ``on_start`` fires when the worker is acquired, *before* the
+        cost window; ``fn`` fires at its end.  ldmsd uses this split to
+        open the sampling transaction at the start of the busy window so
+        concurrent fetches see the consistent flag clear.
+        """
+        raise NotImplementedError
+
+
+class _NullLock:
+    """Reentrant no-op lock for single-threaded (simulated) execution."""
+
+    def __enter__(self) -> "_NullLock":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def acquire(self) -> bool:  # pragma: no cover - API parity
+        return True
+
+    def release(self) -> None:  # pragma: no cover - API parity
+        return None
+
+
+class Env:
+    """Scheduling environment interface."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def call_later(self, delay: float, fn: Callable[[], Any]) -> TaskHandle:
+        raise NotImplementedError
+
+    def make_pool(self, name: str, size: int) -> WorkerPool:
+        raise NotImplementedError
+
+    def make_lock(self):
+        """A reentrant lock (real in RealEnv, no-op in SimEnv)."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Stop background machinery (RealEnv threads). Idempotent."""
+
+    # -- convenience -------------------------------------------------------
+    def call_every(
+        self,
+        interval: float,
+        fn: Callable[[], Any],
+        synchronous: bool = False,
+        offset: float = 0.0,
+        jitter_rng=None,
+    ) -> TaskHandle:
+        """Invoke ``fn`` periodically.
+
+        With ``synchronous=True`` invocations are aligned to wall-clock
+        multiples of ``interval`` plus ``offset`` (the paper's
+        *synchronous* sampling: "an attempt to collect (or sample)
+        relative to particular times as opposed to relative to an
+        arbitrary start time", §IV-C).  Otherwise the period is relative
+        to the start time.  ``jitter_rng``, if given, adds uniform jitter
+        in [0, 1ms) to each asynchronous firing, modelling scheduler
+        wakeup slop.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        state = {"handle": None, "stopped": False}
+
+        def next_delay() -> float:
+            if synchronous:
+                now = self.now()
+                target = (now - offset) // interval * interval + interval + offset
+                return max(target - now, 0.0)
+            d = interval
+            if jitter_rng is not None:
+                d += float(jitter_rng.uniform(0.0, 1e-3))
+            return d
+
+        def fire() -> None:
+            if state["stopped"]:
+                return
+            state["handle"] = self.call_later(next_delay(), fire)
+            fn()
+
+        state["handle"] = self.call_later(next_delay(), fire)
+
+        def cancel() -> None:
+            state["stopped"] = True
+            h = state["handle"]
+            if h is not None:
+                h.cancel()
+
+        return TaskHandle(cancel)
+
+
+# ---------------------------------------------------------------------------
+# Real environment
+# ---------------------------------------------------------------------------
+
+
+class _RealPool(WorkerPool):
+    """Fixed set of daemon worker threads fed from a queue."""
+
+    def __init__(self, name: str, size: int):
+        self.name = name
+        self.size = size
+        self._tasks: list[Callable[[], Any]] = []
+        self._cv = threading.Condition()
+        self._stop = False
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"{name}-{i}", daemon=True)
+            for i in range(size)
+        ]
+        for t in self._threads:
+            t.start()
+
+    def submit(self, fn, cost: float = 0.0, core=None, tag: str = "ldmsd", on_start=None) -> None:
+        def task() -> None:
+            if on_start is not None:
+                on_start()
+            fn()
+
+        with self._cv:
+            if self._stop:
+                return
+            self._tasks.append(task)
+            self._cv.notify()
+
+    def _worker(self) -> None:
+        while True:
+            with self._cv:
+                while not self._tasks and not self._stop:
+                    self._cv.wait()
+                if self._stop and not self._tasks:
+                    return
+                fn = self._tasks.pop(0)
+            try:
+                fn()
+            except Exception:  # pragma: no cover - worker survival
+                import traceback
+
+                traceback.print_exc()
+
+    def shutdown(self) -> None:
+        with self._cv:
+            self._stop = True
+            self._cv.notify_all()
+        for t in self._threads:
+            t.join(timeout=2.0)
+
+
+class RealEnv(Env):
+    """Wall-clock environment: one timer thread + worker pools."""
+
+    def __init__(self):
+        self._heap: list[tuple[float, int, Callable[[], Any], TaskHandle]] = []
+        self._seq = itertools.count()
+        self._cv = threading.Condition()
+        self._stop = False
+        self._pools: list[_RealPool] = []
+        self._epoch = time.monotonic()
+        self._timer = threading.Thread(target=self._run, name="env-timer", daemon=True)
+        self._timer.start()
+
+    def now(self) -> float:
+        return time.monotonic() - self._epoch
+
+    def call_later(self, delay: float, fn: Callable[[], Any]) -> TaskHandle:
+        handle = TaskHandle(lambda: None)  # cancellation checked via flag
+        with self._cv:
+            heapq.heappush(self._heap, (self.now() + max(delay, 0.0), next(self._seq), fn, handle))
+            self._cv.notify()
+        return handle
+
+    def make_pool(self, name: str, size: int) -> WorkerPool:
+        pool = _RealPool(name, size)
+        self._pools.append(pool)
+        return pool
+
+    def make_lock(self):
+        return threading.RLock()
+
+    def _run(self) -> None:
+        while True:
+            with self._cv:
+                if self._stop:
+                    return
+                if not self._heap:
+                    self._cv.wait(timeout=0.5)
+                    continue
+                when, _seq, fn, handle = self._heap[0]
+                delay = when - self.now()
+                if delay > 0:
+                    self._cv.wait(timeout=min(delay, 0.5))
+                    continue
+                heapq.heappop(self._heap)
+            if not handle.cancelled:
+                try:
+                    fn()
+                except Exception:  # pragma: no cover - timer survival
+                    import traceback
+
+                    traceback.print_exc()
+
+    def shutdown(self) -> None:
+        with self._cv:
+            self._stop = True
+            self._cv.notify_all()
+        self._timer.join(timeout=2.0)
+        for p in self._pools:
+            p.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Simulated environment
+# ---------------------------------------------------------------------------
+
+
+class _SimPool(WorkerPool):
+    """Worker pool as a counted DES resource.
+
+    A submitted task waits for a free worker, holds it for ``cost``
+    simulated seconds, records the busy time as noise on the given core,
+    then runs its callback.
+    """
+
+    def __init__(self, engine: Engine, name: str, size: int):
+        self.engine = engine
+        self.name = name
+        self.size = size
+        self.resource = Resource(engine, size)
+        self.busy_time = 0.0
+        self.tasks_run = 0
+
+    def submit(self, fn, cost: float = 0.0, core=None, tag: str = "ldmsd", on_start=None) -> None:
+        req = self.resource.request()
+
+        def granted(_ev: Event) -> None:
+            start = self.engine.now
+            if on_start is not None:
+                on_start()
+            if core is not None and cost > 0.0:
+                core.add_noise(start, cost, tag)
+            self.busy_time += cost
+            self.tasks_run += 1
+
+            def finish() -> None:
+                try:
+                    fn()
+                finally:
+                    self.resource.release(req)
+
+            if cost > 0.0:
+                self.engine.call_later(cost, finish)
+            else:
+                finish()
+
+        if req.processed:
+            granted(req)
+        else:
+            req.callbacks.append(granted)
+
+
+class SimEnv(Env):
+    """Environment bound to a simulation engine."""
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self.pools: list[_SimPool] = []
+
+    def now(self) -> float:
+        return self.engine.now
+
+    def call_later(self, delay: float, fn: Callable[[], Any]) -> TaskHandle:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        ev = self.engine.call_later(delay, fn)
+        return TaskHandle(lambda: Engine.cancel(ev))
+
+    def make_pool(self, name: str, size: int) -> WorkerPool:
+        pool = _SimPool(self.engine, name, size)
+        self.pools.append(pool)
+        return pool
+
+    def make_lock(self):
+        return _NullLock()

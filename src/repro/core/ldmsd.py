@@ -1,0 +1,553 @@
+"""The ldmsd daemon.
+
+One multi-threaded daemon codebase covers both roles (paper §IV-B: "the
+host daemon is the same base code in all cases; differentiation is
+based on configuration"):
+
+* **sampler mode** — load sampler plugins, publish their metric sets,
+  serve DIR/LOOKUP and one-sided data reads to aggregators;
+* **aggregator mode** — add producers to pull from, mirror their sets,
+  validate updates, and feed store plugins.  Aggregated mirrors are
+  themselves published, so aggregators daisy-chain to any depth.
+
+Thread pools (§IV-B): a common *worker* pool runs sampling and update
+completion, a separate *connection* pool performs connection setup (so
+hosts hung in connect timeout cannot starve collection), and a *flush*
+pool writes to stores.
+
+The daemon runs identically on real threads (``RealEnv`` — used by the
+examples over real TCP) and inside the discrete-event simulator
+(``SimEnv`` — used for cluster-scale studies).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core import wire
+from repro.core.aggregator import Producer, ProducerConfig
+from repro.core.env import Env, RealEnv, SimEnv
+from repro.core.memory import Arena
+from repro.core.metric import MetricType
+from repro.core.metric_set import MetricSet, SetInfo
+from repro.core.sampler import SamplerPlugin, sampler_registry
+from repro.core.store import StorePlugin, StorePolicy, StoreRecord, store_registry
+from repro.sim.resources import CpuCore
+from repro.transport.base import Endpoint, Listener, Transport
+from repro.util.errors import ConfigError
+from repro.util.units import parse_size
+
+__all__ = ["Ldmsd"]
+
+#: Simulated CPU cost of processing one completed update (validation +
+#: record construction), excluding transport costs.
+UPDATE_CPU_COST = 5e-6
+#: Simulated CPU cost of one connection-setup attempt.
+CONNECT_CPU_COST = 50e-6
+#: Simulated store cost: per record base + per metric formatting cost.
+STORE_BASE_COST = 10e-6
+STORE_PER_METRIC_COST = 4e-6
+
+
+class _SamplerSchedule:
+    def __init__(self, plugin: SamplerPlugin, interval: float, handle):
+        self.plugin = plugin
+        self.interval = interval
+        self.handle = handle
+
+
+class Ldmsd:
+    """An LDMS daemon instance.
+
+    Parameters
+    ----------
+    name:
+        Daemon name (used as the producer name when peers pull from it
+        and in store records).
+    env:
+        Execution environment.  Defaults to a private :class:`RealEnv`.
+    transports:
+        Mapping of transport name -> :class:`Transport` instance the
+        daemon may listen/connect with.  Defaults to a private real
+        ``sock`` transport under RealEnv; must be provided for SimEnv.
+    mem:
+        Size of the metric-set arena (the ldmsd ``-m`` option), e.g.
+        ``"2MB"``.  Set creation fails when exhausted.
+    workers / conn_threads / flush_threads:
+        Pool sizes (§IV-B: worker pool typically no larger than the
+        host's core count).
+    core:
+        Simulated CPU core that this daemon's work is charged to (noise
+        accounting); None outside the simulator.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        env: Optional[Env] = None,
+        transports: Optional[dict[str, Transport]] = None,
+        mem: str | int = "2MB",
+        workers: int = 4,
+        conn_threads: int = 2,
+        flush_threads: int = 2,
+        core: Optional[CpuCore] = None,
+        fs=None,
+    ):
+        self.name = name
+        self._own_env = env is None
+        if env is None:
+            env = RealEnv()
+        self.env = env
+        if transports is None:
+            if isinstance(env, SimEnv):
+                raise ConfigError("SimEnv daemons must be given sim transports")
+            from repro.transport.sock import SockTransport
+
+            transports = {"sock": SockTransport()}
+        self.transports = dict(transports)
+        self.core = core
+        if fs is None:
+            from repro.nodefs.fs import RealFS
+
+            fs = RealFS()
+        #: Filesystem sampler plugins read node counters through
+        #: (RealFS on a live host, SynthFS in the simulator).
+        self.fs = fs
+        self.arena = Arena(parse_size(mem))
+        self.lock = env.make_lock()
+
+        self.worker_pool = env.make_pool(f"{name}/worker", workers)
+        self.conn_pool = env.make_pool(f"{name}/conn", conn_threads)
+        self.flush_pool = env.make_pool(f"{name}/flush", flush_threads)
+
+        self.update_cpu_cost = UPDATE_CPU_COST
+        self.connect_cpu_cost = CONNECT_CPU_COST
+
+        self._sets: dict[str, MetricSet] = {}
+        self._region_ids: dict[str, int] = {}
+        self._next_region = 1
+        self._plugins: dict[str, SamplerPlugin] = {}
+        self._schedules: dict[str, _SamplerSchedule] = {}
+        self.producers: dict[str, Producer] = {}
+        self.stores: list[StorePlugin] = []
+        self._listeners: list[Listener] = []
+        self._served_endpoints: list[Endpoint] = []
+        self.records_delivered = 0
+        self._shutdown = False
+
+    # ------------------------------------------------------------------
+    # set registry
+    # ------------------------------------------------------------------
+    def create_set(
+        self, name: str, schema: str, metrics: list[tuple[str, MetricType, int]]
+    ) -> MetricSet:
+        """Create and publish a metric set (sampler plugins call this)."""
+        with self.lock:
+            if name in self._sets:
+                raise ConfigError(f"metric set {name!r} already exists")
+            mset = MetricSet.create(name, schema, metrics, self.arena)
+            self._sets[name] = mset
+            return mset
+
+    def delete_set(self, name: str) -> None:
+        with self.lock:
+            mset = self._sets.pop(name, None)
+            if mset is not None:
+                self._region_ids.pop(name, None)
+                mset.delete()
+
+    def get_set(self, name: str) -> Optional[MetricSet]:
+        return self._sets.get(name)
+
+    def set_names(self) -> list[str]:
+        return sorted(self._sets)
+
+    def dir_info(self) -> list[SetInfo]:
+        return [s.info() for s in self._sets.values()]
+
+    def _register_mirror(self, mset: MetricSet) -> None:
+        """Publish an aggregated mirror so higher levels can pull it."""
+        if mset.name not in self._sets:
+            self._sets[mset.name] = mset
+
+    def _unregister_mirror(self, mset: MetricSet) -> None:
+        if self._sets.get(mset.name) is mset:
+            del self._sets[mset.name]
+            self._region_ids.pop(mset.name, None)
+
+    def _on_lookup_complete(self, producer: Producer, upd) -> None:
+        self._register_mirror(upd.mirror)
+
+    # ------------------------------------------------------------------
+    # sampler side
+    # ------------------------------------------------------------------
+    def load_sampler(self, plugin_name: str, **cfg) -> SamplerPlugin:
+        """Load and configure a sampler plugin.
+
+        ``cfg`` must include ``instance=`` (unique per daemon) and
+        normally ``component_id=``; remaining keys go to the plugin's
+        ``config()``.
+        """
+        if plugin_name not in sampler_registry:
+            import repro.plugins  # noqa: F401  (registers built-ins)
+        try:
+            cls = sampler_registry[plugin_name]
+        except KeyError:
+            raise ConfigError(
+                f"unknown sampler plugin {plugin_name!r}; loaded registry has "
+                f"{sorted(sampler_registry)}"
+            ) from None
+        with self.lock:
+            plugin = cls(self)
+            plugin.config(**cfg)
+            if plugin.instance in self._plugins:
+                raise ConfigError(f"sampler instance {plugin.instance!r} already loaded")
+            self._plugins[plugin.instance] = plugin
+            return plugin
+
+    def start_sampler(
+        self, instance: str, interval: float, offset: Optional[float] = None
+    ) -> None:
+        """Begin periodic sampling.
+
+        ``offset`` non-None selects synchronous (wall-aligned) sampling;
+        the paper notes this bounds the number of application iterations
+        perturbed across nodes (§V-A1).  The sampling frequency can be
+        changed on the fly by calling ``stop_sampler`` + ``start_sampler``.
+        """
+        with self.lock:
+            plugin = self._require_plugin(instance)
+            if instance in self._schedules:
+                raise ConfigError(f"sampler {instance!r} already started")
+
+            def fire() -> None:
+                self.worker_pool.submit(
+                    lambda: self._finish_sample(plugin),
+                    cost=plugin.sample_cost,
+                    core=self.core,
+                    tag="sampler",
+                    on_start=lambda: self._begin_sample(plugin),
+                )
+
+            handle = self.env.call_every(
+                interval, fire, synchronous=offset is not None, offset=offset or 0.0
+            )
+            self._schedules[instance] = _SamplerSchedule(plugin, interval, handle)
+
+    def stop_sampler(self, instance: str) -> None:
+        with self.lock:
+            sched = self._schedules.pop(instance, None)
+            if sched is None:
+                raise ConfigError(f"sampler {instance!r} is not started")
+            sched.handle.cancel()
+
+    def sampler_plugins(self) -> dict[str, SamplerPlugin]:
+        return dict(self._plugins)
+
+    def _require_plugin(self, instance: str) -> SamplerPlugin:
+        try:
+            return self._plugins[instance]
+        except KeyError:
+            raise ConfigError(f"no sampler instance {instance!r}") from None
+
+    def _begin_sample(self, plugin: SamplerPlugin) -> None:
+        with self.lock:
+            plugin.begin_sample()
+
+    def _finish_sample(self, plugin: SamplerPlugin) -> None:
+        with self.lock:
+            plugin.finish_sample(self.env.now())
+
+    # ------------------------------------------------------------------
+    # serving (any daemon can be pulled from)
+    # ------------------------------------------------------------------
+    def listen(self, xprt: str, addr) -> Listener:
+        """Listen for incoming aggregator connections on a transport."""
+        transport = self._transport(xprt)
+        listener = transport.listen(addr, self._on_peer_connect)
+        self._listeners.append(listener)
+        return listener
+
+    def _transport(self, xprt: str) -> Transport:
+        try:
+            return self.transports[xprt]
+        except KeyError:
+            raise ConfigError(
+                f"daemon {self.name!r} has no transport {xprt!r}; "
+                f"configured: {sorted(self.transports)}"
+            ) from None
+
+    def _on_peer_connect(self, endpoint: Endpoint) -> None:
+        endpoint.on_message = lambda raw: self._serve(endpoint, raw)
+        self._served_endpoints.append(endpoint)
+
+    def _serve(self, endpoint: Endpoint, raw: bytes) -> None:
+        with self.lock:
+            frame = wire.decode_frame(raw)
+            if frame.msg_type == wire.MsgType.ADVERTISE:
+                # A sampler initiated this connection (passive mode);
+                # hand the endpoint to the matching producer.
+                peer_name = wire.unpack_advertise(frame.payload)
+                prod = self.producers.get(peer_name)
+                if prod is not None and prod.cfg.passive:
+                    if endpoint in self._served_endpoints:
+                        self._served_endpoints.remove(endpoint)
+                    prod.attach(endpoint)
+                return
+            if frame.msg_type == wire.MsgType.DIR_REQ:
+                endpoint.send(
+                    wire.encode_frame(
+                        wire.MsgType.DIR_REPLY,
+                        frame.request_id,
+                        wire.pack_dir_reply(self.dir_info()),
+                    )
+                )
+            elif frame.msg_type == wire.MsgType.LOOKUP_REQ:
+                set_name = wire.unpack_lookup_req(frame.payload)
+                mset = self._sets.get(set_name)
+                if mset is None:
+                    reply = wire.pack_lookup_reply(wire.E_NOENT)
+                else:
+                    region_id = self._region_id_for(set_name)
+                    if region_id not in getattr(endpoint, "_regions"):
+                        endpoint.register_region(
+                            region_id, lambda n=set_name: self._read_region(n)
+                        )
+                    reply = wire.pack_lookup_reply(
+                        wire.E_OK, region_id, mset.meta_bytes()
+                    )
+                endpoint.send(
+                    wire.encode_frame(wire.MsgType.LOOKUP_REPLY, frame.request_id, reply)
+                )
+            elif frame.msg_type == wire.MsgType.UPDATE_REQ:
+                # Message-based pull path (kept for completeness; the
+                # aggregator normally uses one-sided reads).
+                region_id = wire.unpack_update_req(frame.payload)
+                name = next(
+                    (n for n, r in self._region_ids.items() if r == region_id), None
+                )
+                mset = self._sets.get(name) if name is not None else None
+                if mset is None:
+                    reply = wire.pack_update_reply(wire.E_NOENT)
+                else:
+                    reply = wire.pack_update_reply(wire.E_OK, mset.data_bytes())
+                endpoint.send(
+                    wire.encode_frame(wire.MsgType.UPDATE_REPLY, frame.request_id, reply)
+                )
+
+    def _region_id_for(self, set_name: str) -> int:
+        rid = self._region_ids.get(set_name)
+        if rid is None:
+            rid = self._next_region
+            self._next_region += 1
+            self._region_ids[set_name] = rid
+        return rid
+
+    def _read_region(self, set_name: str) -> bytes:
+        mset = self._sets.get(set_name)
+        return mset.data_bytes() if mset is not None else b""
+
+    # ------------------------------------------------------------------
+    # aggregator side
+    # ------------------------------------------------------------------
+    def add_producer(
+        self,
+        name: str,
+        xprt: str,
+        addr=None,
+        interval: float = 20.0,
+        sets: tuple[str, ...] = (),
+        offset: Optional[float] = None,
+        standby: bool = False,
+        reconnect_interval: float = 2.0,
+        passive: bool = False,
+    ) -> Producer:
+        """Add a collection target.
+
+        Active producers (the default) begin connecting immediately.
+        Passive producers wait for the named peer to connect to one of
+        this daemon's listeners and send an ADVERTISE — the §IV-B
+        asymmetric-network mode where the sampler initiates.  Multiple
+        producers may point at the same address with different set
+        lists and intervals ("multiple connections may be established
+        between an aggregator and a single collection target").
+        """
+        with self.lock:
+            if name in self.producers:
+                raise ConfigError(f"producer {name!r} already exists")
+            self._transport(xprt)  # validate early
+            if addr is None and not passive:
+                raise ConfigError("active producers require addr=")
+            cfg = ProducerConfig(
+                name=name,
+                xprt=xprt,
+                addr=addr,
+                interval=float(interval),
+                sets=tuple(sets),
+                offset=offset,
+                standby=standby,
+                reconnect_interval=reconnect_interval,
+                passive=passive,
+            )
+            prod = Producer(self, cfg)
+            self.producers[name] = prod
+            prod.start()
+            return prod
+
+    def advertise(
+        self,
+        xprt: str,
+        addr,
+        name: Optional[str] = None,
+        reconnect_interval: float = 2.0,
+    ) -> None:
+        """Sampler side of passive mode: connect to an aggregator,
+        announce this daemon by name, and serve the pull protocol on
+        that connection.  Re-advertises with backoff if the connection
+        drops."""
+        adv_name = name or self.name
+        transport = self._transport(xprt)
+        state = {"stopped": False}
+
+        def attempt() -> None:
+            transport.connect(addr, on_connected)
+
+        def on_connected(endpoint: Optional[Endpoint]) -> None:
+            with self.lock:
+                if self._shutdown or state["stopped"]:
+                    if endpoint is not None:
+                        endpoint.close()
+                    return
+                if endpoint is None:
+                    self.env.call_later(reconnect_interval, schedule)
+                    return
+                endpoint.on_message = lambda raw: self._serve(endpoint, raw)
+                endpoint.on_close = lambda: (
+                    self._shutdown or self.env.call_later(reconnect_interval,
+                                                          schedule)
+                )
+                self._served_endpoints.append(endpoint)
+                endpoint.send(
+                    wire.encode_frame(wire.MsgType.ADVERTISE, 0,
+                                      wire.pack_advertise(adv_name))
+                )
+
+        def schedule() -> None:
+            self.conn_pool.submit(attempt, cost=self.connect_cpu_cost,
+                                  core=self.core, tag="advertise")
+
+        schedule()
+
+    def remove_producer(self, name: str) -> None:
+        with self.lock:
+            prod = self.producers.pop(name, None)
+            if prod is None:
+                raise ConfigError(f"no producer {name!r}")
+            prod.stop()
+
+    def activate_standby(self, name: str) -> None:
+        """Promote a standby producer (driven by an external watchdog)."""
+        with self.lock:
+            prod = self.producers.get(name)
+            if prod is None:
+                raise ConfigError(f"no producer {name!r}")
+            prod.activate()
+
+    # ------------------------------------------------------------------
+    # store side
+    # ------------------------------------------------------------------
+    def add_store(
+        self,
+        plugin_name: str,
+        schema: Optional[str] = None,
+        producers: Optional[tuple[str, ...]] = None,
+        metrics: Optional[tuple[str, ...]] = None,
+        **cfg,
+    ) -> StorePlugin:
+        """Instantiate a store plugin with a matching policy."""
+        if plugin_name not in store_registry:
+            import repro.plugins  # noqa: F401  (registers built-ins)
+        try:
+            cls = store_registry[plugin_name]
+        except KeyError:
+            raise ConfigError(
+                f"unknown store plugin {plugin_name!r}; registry has "
+                f"{sorted(store_registry)}"
+            ) from None
+        with self.lock:
+            store = cls()
+            store.config(**cfg)
+            store.policy = StorePolicy(
+                schema=schema,
+                producers=frozenset(producers) if producers else None,
+                metrics=tuple(metrics) if metrics else None,
+            )
+            self.stores.append(store)
+            return store
+
+    def _deliver_to_stores(self, producer: Producer, mirror: MetricSet) -> None:
+        if not self.stores:
+            return
+        record = StoreRecord.from_set(mirror, producer.cfg.name)
+        self.records_delivered += 1
+        cost = STORE_BASE_COST + STORE_PER_METRIC_COST * len(record.values)
+        for store in self.stores:
+            if store.wants(record):
+                self.flush_pool.submit(
+                    lambda s=store: s.submit(record), cost=cost, core=self.core, tag="store"
+                )
+
+    # ------------------------------------------------------------------
+    # introspection / shutdown
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Operational counters and footprint numbers."""
+        with self.lock:
+            return {
+                "name": self.name,
+                "sets": len(self._sets),
+                "arena_used": self.arena.used,
+                "arena_peak": self.arena.peak_used,
+                "arena_size": self.arena.size,
+                "plugins": len(self._plugins),
+                "producers": {
+                    name: vars(p.stats).copy() for name, p in self.producers.items()
+                },
+                "records_delivered": self.records_delivered,
+                "stores": [
+                    {"plugin": s.plugin_name, "records": s.records_stored}
+                    for s in self.stores
+                ],
+            }
+
+    def total_set_bytes(self) -> int:
+        """Total metric-set memory (metadata + data) held by the daemon."""
+        with self.lock:
+            return sum(s.total_size for s in self._sets.values())
+
+    def shutdown(self) -> None:
+        if self._shutdown:
+            return
+        self._shutdown = True
+        with self.lock:
+            for sched in list(self._schedules.values()):
+                sched.handle.cancel()
+            self._schedules.clear()
+            for prod in list(self.producers.values()):
+                prod.stop()
+            self.producers.clear()
+            for lst in self._listeners:
+                lst.close()
+            for ep in self._served_endpoints:
+                if not ep.closed:
+                    ep.close()
+            for store in self.stores:
+                store.close()
+        if self._own_env:
+            self.env.shutdown()
+
+    def __enter__(self) -> "Ldmsd":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -1,0 +1,105 @@
+"""Arena memory manager for metric-set storage.
+
+The paper (§IV-D): "A custom memory manager is employed to manage memory
+allocation."  ldmsd pre-allocates a fixed region at start (the ``-m``
+option) and carves metric-set metadata and data chunks out of it; an
+aggregator sizes its region for every set it collects.
+
+This implementation is a first-fit free-list allocator over a single
+``bytearray``.  It exists for behavioural fidelity — daemon memory
+footprint is a *measured quantity* in the reproduction, and set creation
+must fail when the configured region is exhausted, as it does in ldmsd.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import OutOfMemory
+
+__all__ = ["Arena"]
+
+_ALIGN = 8
+
+
+def _align(n: int) -> int:
+    return (n + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+class Arena:
+    """First-fit allocator over a contiguous preallocated buffer.
+
+    >>> a = Arena(1024)
+    >>> off = a.alloc(100)
+    >>> mv = a.view(off, 100)
+    >>> a.free(off)
+    """
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise ValueError("arena size must be positive")
+        self.size = _align(size)
+        self.buf = bytearray(self.size)
+        # Free list: sorted list of (offset, length) holes.
+        self._free: list[tuple[int, int]] = [(0, self.size)]
+        # Live allocations: offset -> length (aligned).
+        self._live: dict[int, int] = {}
+        self.peak_used = 0
+
+    @property
+    def used(self) -> int:
+        return sum(self._live.values())
+
+    @property
+    def available(self) -> int:
+        return self.size - self.used
+
+    @property
+    def n_allocs(self) -> int:
+        return len(self._live)
+
+    def alloc(self, nbytes: int) -> int:
+        """Allocate ``nbytes`` (rounded up to 8-byte alignment); return offset."""
+        if nbytes <= 0:
+            raise ValueError("allocation size must be positive")
+        need = _align(nbytes)
+        for i, (off, length) in enumerate(self._free):
+            if length >= need:
+                if length == need:
+                    del self._free[i]
+                else:
+                    self._free[i] = (off + need, length - need)
+                self._live[off] = need
+                self.peak_used = max(self.peak_used, self.used)
+                return off
+        raise OutOfMemory(
+            f"arena exhausted: need {need}B, {self.available}B free "
+            f"(fragmented into {len(self._free)} holes) of {self.size}B total"
+        )
+
+    def free(self, offset: int) -> None:
+        """Return an allocation to the free list, coalescing neighbours."""
+        try:
+            length = self._live.pop(offset)
+        except KeyError:
+            raise ValueError(f"free of unallocated offset {offset}") from None
+        # Insert hole keeping the list sorted by offset, then coalesce.
+        self._free.append((offset, length))
+        self._free.sort()
+        merged: list[tuple[int, int]] = []
+        for off, ln in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == off:
+                prev_off, prev_ln = merged[-1]
+                merged[-1] = (prev_off, prev_ln + ln)
+            else:
+                merged.append((off, ln))
+        self._free = merged
+        # Hygiene: zero the region so stale data never leaks into new sets.
+        self.buf[offset : offset + length] = bytes(length)
+
+    def view(self, offset: int, nbytes: int) -> memoryview:
+        """A writable view of an allocated region."""
+        length = self._live.get(offset)
+        if length is None:
+            raise ValueError(f"view of unallocated offset {offset}")
+        if nbytes > length:
+            raise ValueError(f"view of {nbytes}B exceeds allocation of {length}B")
+        return memoryview(self.buf)[offset : offset + nbytes]

@@ -1,0 +1,144 @@
+"""Store plugin framework.
+
+Storage plugins run on aggregators and write collected metric sets to
+stable storage (paper §IV-A/B).  The aggregator hands each successfully
+updated, *consistent*, *fresh* (DGN advanced) set to every store whose
+policy matches; stale or torn collections are never stored.
+
+Storage may be specified at a {producer, metric name} granularity,
+though the typical case is per metric set/schema (§IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from repro.core.metric_set import MetricSet
+from repro.util.errors import ConfigError
+
+__all__ = ["StoreRecord", "StorePolicy", "StorePlugin", "store_registry", "register_store"]
+
+
+@dataclass(frozen=True)
+class StoreRecord:
+    """One stored collection event: a timestamped row of a metric set."""
+
+    timestamp: float
+    producer: str
+    set_name: str
+    schema: str
+    names: tuple[str, ...]
+    component_ids: tuple[int, ...]
+    values: tuple[float | int, ...]
+
+    @classmethod
+    def from_set(cls, mset: MetricSet, producer: str) -> "StoreRecord":
+        return cls(
+            timestamp=mset.timestamp,
+            producer=producer,
+            set_name=mset.name,
+            schema=mset.schema,
+            names=tuple(d.name for d in mset.descs),
+            component_ids=tuple(d.component_id for d in mset.descs),
+            values=tuple(mset.values()),
+        )
+
+    def filtered(self, metric_names: Iterable[str]) -> "StoreRecord":
+        """Project onto a subset of metrics (per-metric-name policies)."""
+        wanted = set(metric_names)
+        idx = [i for i, n in enumerate(self.names) if n in wanted]
+        missing = wanted - {self.names[i] for i in idx}
+        if missing:
+            raise ConfigError(f"metrics not in set {self.set_name!r}: {sorted(missing)}")
+        return StoreRecord(
+            timestamp=self.timestamp,
+            producer=self.producer,
+            set_name=self.set_name,
+            schema=self.schema,
+            names=tuple(self.names[i] for i in idx),
+            component_ids=tuple(self.component_ids[i] for i in idx),
+            values=tuple(self.values[i] for i in idx),
+        )
+
+
+@dataclass
+class StorePolicy:
+    """Which collections a store instance receives.
+
+    ``schema`` limits to one schema (the typical case); ``producers``
+    and ``metrics`` optionally narrow to specific producers / metric
+    names (the {producer, metric name} granularity in §IV-C).
+    """
+
+    schema: Optional[str] = None
+    producers: Optional[frozenset[str]] = None
+    metrics: Optional[tuple[str, ...]] = None
+
+    def matches(self, record: StoreRecord) -> bool:
+        if self.schema is not None and record.schema != self.schema:
+            return False
+        if self.producers is not None and record.producer not in self.producers:
+            return False
+        return True
+
+    def project(self, record: StoreRecord) -> StoreRecord:
+        return record.filtered(self.metrics) if self.metrics is not None else record
+
+
+class StorePlugin:
+    """Base class for store plugins.
+
+    Subclasses implement :meth:`store` (buffered write of one record),
+    :meth:`flush`, and :meth:`close`.  ``config`` receives plugin
+    specific parameters (path, container name, ...).
+    """
+
+    plugin_name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.policy = StorePolicy()
+        self.records_stored = 0
+        self.configured = False
+
+    def config(self, **kwargs) -> None:
+        self.configured = True
+
+    def wants(self, record: StoreRecord) -> bool:
+        return self.policy.matches(record)
+
+    def submit(self, record: StoreRecord) -> None:
+        """Policy-filter then store."""
+        if not self.wants(record):
+            return
+        self.store(self.policy.project(record))
+        self.records_stored += 1
+
+    def store(self, record: StoreRecord) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Push buffered data to stable storage."""
+
+    def close(self) -> None:
+        self.flush()
+
+    # -- introspection for footprint accounting -----------------------------
+    def bytes_written(self) -> int:
+        """Total bytes this store has written (0 if not applicable)."""
+        return 0
+
+
+#: plugin name -> plugin class
+store_registry: dict[str, type[StorePlugin]] = {}
+
+
+def register_store(name: str) -> Callable[[type], type]:
+    def deco(cls: type) -> type:
+        if name in store_registry:
+            raise ConfigError(f"store plugin {name!r} already registered")
+        cls.plugin_name = name
+        store_registry[name] = cls
+        return cls
+
+    return deco

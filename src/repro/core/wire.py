@@ -1,0 +1,221 @@
+"""LDMS wire protocol: framed request/reply messages.
+
+The protocol has three operations an aggregator performs against a peer
+(paper Fig. 2):
+
+* **DIR** — list the metric sets the peer publishes.
+* **LOOKUP** — fetch a set's metadata chunk once; the reply also carries
+  a *region id* under which the peer has registered the set's data
+  chunk for direct fetch.
+* **UPDATE** — fetch the current data chunk.  Over RDMA transports this
+  is a one-sided read of the registered region (no peer CPU); over the
+  socket transport the peer's protocol handler services it.
+
+Frames are length-prefixed little-endian:
+
+    u32 frame_len | u8 msg_type | u64 request_id | payload
+
+``frame_len`` counts everything after the length field itself.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.core.metric_set import SetInfo
+from repro.util.errors import ReproError
+
+__all__ = [
+    "MsgType",
+    "Frame",
+    "encode_frame",
+    "FrameDecoder",
+    "pack_dir_req",
+    "unpack_dir_reply",
+    "pack_dir_reply",
+    "pack_lookup_req",
+    "unpack_lookup_req",
+    "pack_lookup_reply",
+    "unpack_lookup_reply",
+    "pack_update_req",
+    "unpack_update_req",
+    "pack_update_reply",
+    "unpack_update_reply",
+]
+
+_HDR_FMT = "<IBQ"
+_HDR_SIZE = struct.calcsize(_HDR_FMT)
+
+E_OK = 0
+E_NOENT = 2  # set not found
+E_AGAIN = 11  # try later
+
+
+class MsgType:
+    DIR_REQ = 1
+    DIR_REPLY = 2
+    LOOKUP_REQ = 3
+    LOOKUP_REPLY = 4
+    UPDATE_REQ = 5
+    UPDATE_REPLY = 6
+    RDMA_READ_REQ = 7  # transport-internal: sock emulation of a read
+    RDMA_READ_REPLY = 8
+    ADVERTISE = 9  # passive mode: a sampler announces itself to an
+    # aggregator it connected to (asymmetric network access, §IV-B)
+
+
+@dataclass(frozen=True)
+class Frame:
+    msg_type: int
+    request_id: int
+    payload: bytes
+
+
+def encode_frame(msg_type: int, request_id: int, payload: bytes = b"") -> bytes:
+    body = struct.pack(_HDR_FMT, _HDR_SIZE - 4 + len(payload), msg_type, request_id)
+    return body + payload
+
+
+class FrameDecoder:
+    """Incremental frame decoder for stream transports.
+
+    Feed arbitrary byte chunks; complete frames pop out.
+
+    >>> dec = FrameDecoder()
+    >>> frames = dec.feed(encode_frame(MsgType.DIR_REQ, 7))
+    >>> frames[0].msg_type == MsgType.DIR_REQ
+    True
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, chunk: bytes) -> list[Frame]:
+        self._buf.extend(chunk)
+        frames: list[Frame] = []
+        while True:
+            if len(self._buf) < 4:
+                break
+            (flen,) = struct.unpack_from("<I", self._buf, 0)
+            if flen < _HDR_SIZE - 4:
+                raise ReproError(f"corrupt frame length {flen}")
+            if len(self._buf) < 4 + flen:
+                break
+            _, mtype, rid = struct.unpack_from(_HDR_FMT, self._buf, 0)
+            payload = bytes(self._buf[_HDR_SIZE : 4 + flen])
+            del self._buf[: 4 + flen]
+            frames.append(Frame(mtype, rid, payload))
+        return frames
+
+
+def decode_frame(raw: bytes) -> Frame:
+    """Decode exactly one frame from a complete datagram."""
+    frames = FrameDecoder().feed(raw)
+    if len(frames) != 1:
+        raise ReproError(f"expected exactly one frame, got {len(frames)}")
+    return frames[0]
+
+
+# ---------------------------------------------------------------------------
+# DIR
+# ---------------------------------------------------------------------------
+
+_SETINFO_FMT = "<III128s64s"
+_SETINFO_SIZE = struct.calcsize(_SETINFO_FMT)
+
+
+def pack_dir_req() -> bytes:
+    return b""
+
+
+def pack_dir_reply(infos: list[SetInfo]) -> bytes:
+    out = [struct.pack("<I", len(infos))]
+    for i in infos:
+        out.append(
+            struct.pack(
+                _SETINFO_FMT,
+                i.card,
+                i.meta_size,
+                i.data_size,
+                i.name.encode("utf-8"),
+                i.schema.encode("utf-8"),
+            )
+        )
+    return b"".join(out)
+
+
+def unpack_dir_reply(payload: bytes) -> list[SetInfo]:
+    (n,) = struct.unpack_from("<I", payload, 0)
+    infos = []
+    pos = 4
+    for _ in range(n):
+        card, msz, dsz, name_b, schema_b = struct.unpack_from(_SETINFO_FMT, payload, pos)
+        pos += _SETINFO_SIZE
+        infos.append(
+            SetInfo(
+                name=name_b.rstrip(b"\x00").decode(),
+                schema=schema_b.rstrip(b"\x00").decode(),
+                card=card,
+                meta_size=msz,
+                data_size=dsz,
+            )
+        )
+    return infos
+
+
+# ---------------------------------------------------------------------------
+# LOOKUP
+# ---------------------------------------------------------------------------
+
+
+def pack_lookup_req(set_name: str) -> bytes:
+    b = set_name.encode("utf-8")
+    return struct.pack("<H", len(b)) + b
+
+
+def unpack_lookup_req(payload: bytes) -> str:
+    (n,) = struct.unpack_from("<H", payload, 0)
+    return payload[2 : 2 + n].decode("utf-8")
+
+
+def pack_lookup_reply(status: int, region_id: int = 0, meta: bytes = b"") -> bytes:
+    return struct.pack("<iQI", status, region_id, len(meta)) + meta
+
+
+def unpack_lookup_reply(payload: bytes) -> tuple[int, int, bytes]:
+    status, region_id, mlen = struct.unpack_from("<iQI", payload, 0)
+    return status, region_id, payload[16 : 16 + mlen]
+
+
+# ---------------------------------------------------------------------------
+# UPDATE (socket-transport path; RDMA transports bypass this and read the
+# registered region directly)
+# ---------------------------------------------------------------------------
+
+
+def pack_advertise(name: str) -> bytes:
+    b = name.encode("utf-8")
+    return struct.pack("<H", len(b)) + b
+
+
+def unpack_advertise(payload: bytes) -> str:
+    (n,) = struct.unpack_from("<H", payload, 0)
+    return payload[2 : 2 + n].decode("utf-8")
+
+
+def pack_update_req(region_id: int) -> bytes:
+    return struct.pack("<Q", region_id)
+
+
+def unpack_update_req(payload: bytes) -> int:
+    return struct.unpack_from("<Q", payload, 0)[0]
+
+
+def pack_update_reply(status: int, data: bytes = b"") -> bytes:
+    return struct.pack("<iI", status, len(data)) + data
+
+
+def unpack_update_reply(payload: bytes) -> tuple[int, bytes]:
+    status, dlen = struct.unpack_from("<iI", payload, 0)
+    return status, payload[8 : 8 + dlen]

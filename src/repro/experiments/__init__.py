@@ -1,0 +1,27 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Every module exposes ``run(...)`` returning a result object and a
+``main()`` that prints the same rows/series the paper reports.  The
+benchmarks in ``benchmarks/`` wrap these.  Paper-vs-measured values are
+recorded in EXPERIMENTS.md.
+
+=========================== =============================================
+module                      reproduces
+=========================== =============================================
+``ganglia_compare``         §IV-E per-metric collection cost (126 vs
+                            1.3 us/metric)
+``footprint``               §IV-D resource footprints (set sizes, memory,
+                            daily data volume, wire bytes)
+``fanin``                   §IV-A fan-in limits by transport; §IV-D
+                            aggregator CPU/memory
+``fig5_psnap_bw``           Fig. 5 PSNAP histogram (Blue Waters)
+``fig6_bw_benchmarks``      Fig. 6 benchmark variation under LDMS
+``fig7_chama_apps``         Fig. 7 Chama application runtimes
+``fig8_psnap_chama``        Fig. 8 PSNAP NM / HM_HALF / HM
+``fig9_credit_stalls``      Fig. 9 credit stalls: 24 h node view + 3-D
+                            torus snapshot
+``fig10_bandwidth``         Fig. 10 percent max bandwidth
+``fig11_lustre_opens``      Fig. 11 Lustre opens features
+``fig12_oom_profile``       Fig. 12 OOM-killed job memory profile
+=========================== =============================================
+"""

@@ -1,0 +1,72 @@
+"""Shared experiment plumbing: table printing and paper target values."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["print_table", "print_header", "PAPER"]
+
+
+def print_header(title: str) -> None:
+    print()
+    print(title)
+    print("=" * len(title))
+
+
+def print_table(headers: list[str], rows: Iterable[Iterable[object]],
+                floatfmt: str = "{:.3f}") -> None:
+    """Minimal fixed-width table printer (no external deps)."""
+
+    def fmt(v: object) -> str:
+        if isinstance(v, float):
+            return floatfmt.format(v)
+        return str(v)
+
+    srows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in srows)) if srows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("  ".join("-" * w for w in widths))
+    for r in srows:
+        print("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+
+
+@dataclass(frozen=True)
+class _PaperTargets:
+    """Numbers quoted in the paper, used for measured-vs-paper reporting."""
+
+    ganglia_us_per_metric: float = 126.0
+    ldms_us_per_metric: float = 1.3
+    chama_metrics: int = 467
+    chama_sets: int = 7
+    chama_set_bytes: int = 44 * 1024
+    chama_data_bytes_per_node: int = 4 * 1024
+    chama_nodes: int = 1296
+    chama_interval: float = 20.0
+    chama_daily_csv_gb: float = 27.0
+    bw_metrics: int = 194
+    bw_set_bytes: int = 24 * 1024
+    bw_nodes: int = 27648
+    bw_interval_production: float = 60.0
+    bw_daily_csv_gb: float = 43.0
+    bw_agg_wire_mb: float = 44.0
+    fanin_sock: int = 9000
+    fanin_rdma: int = 9000
+    fanin_ugni: int = 15000
+    sampler_mem_limit: int = 2 * 1024 * 1024
+    overhead_limit_pct: float = 1.0
+    sample_cost_us: float = 400.0
+    psnap_extra_delay_lo_us: float = 100.0
+    psnap_extra_delay_hi_us: float = 415.0
+    fig9_max_stall_pct: float = 85.0
+    fig9_band_20_45_hours: float = 20.0
+    fig9_band_60_hours: float = 1.5
+    fig10_max_bw_pct: float = 63.0
+    torus_dims: tuple[int, int, int] = (24, 24, 24)
+
+
+PAPER = _PaperTargets()

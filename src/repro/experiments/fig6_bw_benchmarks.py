@@ -1,0 +1,99 @@
+"""Fig. 6: Blue Waters benchmark variation under LDMS configurations.
+
+Benchmarks: MiniGhost (wall time, comm, gridsum), LinkTest, MILC phases
+(Llfat, Lllong, CG iteration, GF, FF, step), IMB Allreduce.
+Configurations: unmonitored, 60 s (with and without aggregation), 1 s
+(with and without aggregation) — the "no net" variants "disable
+aggregation and storage to differentiate impact due to changed network
+behavior".
+
+The paper's conclusion, which is this experiment's acceptance
+criterion: "No statistically significant impact was observed" — every
+monitored mean falls within the unmonitored observation range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.impact import ImpactSummary, compare_runs  # noqa: F401
+from repro.apps import ImbAllreduce, LinkTest, Milc, MiniGhost
+from repro.apps.base import MonitoringSpec
+from repro.experiments.common import print_header, print_table
+from repro.util.rngtools import spawn_rng
+
+__all__ = ["Fig6Result", "SPECS", "run", "main"]
+
+SPECS: dict[str, MonitoringSpec] = {
+    "60s, no net": MonitoringSpec.interval_60s().without_network(),
+    "60s": MonitoringSpec.interval_60s(),
+    "1s, no net": MonitoringSpec.interval_1s().without_network(),
+    "1s": MonitoringSpec.interval_1s(),
+}
+
+
+@dataclass
+class Fig6Result:
+    #: series label (e.g. "MiniGhost wall") -> config summaries
+    series: dict[str, list[ImpactSummary]]
+
+    def any_significant(self) -> list[tuple[str, str]]:
+        """Family-wise (Bonferroni-corrected) significant impacts."""
+        from repro.analysis.impact import family_significant
+
+        return family_significant(self.series)
+
+
+def run(repeats: int = 3, seed: int = 6, scale: float = 1.0) -> Fig6Result:
+    """``scale`` < 1 shrinks node counts for quick runs."""
+    rng = spawn_rng(seed, "fig6")
+    series: dict[str, list[ImpactSummary]] = {}
+
+    def do(app, label_phase_pairs):
+        base = app.ensemble(MonitoringSpec.unmonitored(), rng, repeats)
+        monitored = {lbl: app.ensemble(spec, rng, repeats)
+                     for lbl, spec in SPECS.items()}
+        for series_label, phase in label_phase_pairs:
+            series[series_label] = compare_runs(base, monitored, phase=phase)
+
+    mg = MiniGhost(n_nodes=max(int(8192 * scale), 16))
+    do(mg, [("Mini-ghost wall time", None),
+            ("Minighost-comm", "comm_phase"),
+            ("Minighost-gridsum", "gridsum")])
+
+    lt = LinkTest()
+    base = [lt.run(MonitoringSpec.unmonitored(), rng) for _ in range(repeats)]
+    monitored = {lbl: [lt.run(spec, rng) for _ in range(repeats)]
+                 for lbl, spec in SPECS.items()}
+    series["Linktest"] = compare_runs(base, monitored, phase="per_message")
+
+    milc = Milc(n_nodes=max(int(2744 * scale), 16))
+    do(milc, [("MILC Llfat", "Llfat"), ("MILC Lllong", "Lllong"),
+              ("MILC CG iteration", "CG"), ("MILC GF", "GF"),
+              ("MILC FF", "FF"), ("MILC step", "step")])
+
+    imb = ImbAllreduce(n_nodes=max(int(2744 * scale), 16))
+    do(imb, [("IMB Allreduce", "allreduce")])
+
+    return Fig6Result(series=series)
+
+
+def main() -> Fig6Result:
+    res = run(scale=0.125)
+    print_header("Fig. 6: time normalized to unmonitored average (Blue Waters)")
+    rows = []
+    for name, summaries in res.series.items():
+        for s in summaries:
+            rows.append([name, s.label, s.normalized_mean,
+                         s.normalized_lo, s.normalized_hi,
+                         f"{s.p_value:.2f}"])
+    print_table(["benchmark", "config", "norm mean", "norm lo", "norm hi",
+                 "p-value"], rows)
+    sig = res.any_significant()
+    print(f"\nstatistically significant impacts: "
+          f"{sig if sig else 'none (matches paper)'}")
+    return res
+
+
+if __name__ == "__main__":
+    main()

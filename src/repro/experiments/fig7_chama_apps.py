@@ -1,0 +1,83 @@
+"""Fig. 7: Chama application runtime averages under NM / LM / HM.
+
+"Three conditions were considered: no LDMS (NM - unmonitored),
+sampling on the node at 20 second intervals (LM - low monitoring) and
+sampling on the nodes at one second intervals (HM - high monitoring).
+We ran the applications as a consistent ensemble of simulations ...
+Two Nalu simulations utilizing 1,536 and 8,192 PE, two CTH simulations
+utilizing 1,024 and 7,200 PE, and two Adagio simulations utilizing 512
+and 1,024 PE ... each ensemble was simulated three times."
+
+Acceptance criterion (paper): for every application the monitored
+averages sit within the observed unmonitored range — "LDMS monitoring
+appears to have no practical impact on the run time".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.impact import ImpactSummary, compare_runs
+from repro.apps import Adagio, Cth, Nalu
+from repro.apps.base import MonitoringSpec
+from repro.experiments.common import print_header, print_table
+from repro.util.rngtools import spawn_rng
+
+__all__ = ["Fig7Result", "ENSEMBLE", "run", "main"]
+
+#: (series label, app factory) — PE = nodes x 16 cores on Chama.
+ENSEMBLE = [
+    ("Nalu-8192", lambda s: Nalu(n_nodes=max(int(512 * s), 8))),
+    ("Nalu-1536", lambda s: Nalu(n_nodes=max(int(96 * s), 8))),
+    ("CTH-7200", lambda s: Cth(n_nodes=max(int(450 * s), 8))),
+    ("CTH-1024", lambda s: Cth(n_nodes=max(int(64 * s), 8), iterations=600)),
+    ("Adagio-1024", lambda s: Adagio(n_nodes=max(int(64 * s), 8))),
+    ("Adagio-512", lambda s: Adagio(n_nodes=max(int(32 * s), 8))),
+]
+
+SPECS = {
+    "20s interval": MonitoringSpec.interval_20s(),
+    "1s interval": MonitoringSpec.interval_1s(),
+}
+
+
+@dataclass
+class Fig7Result:
+    series: dict[str, list[ImpactSummary]]
+
+    def any_significant(self) -> list[tuple[str, str]]:
+        """Family-wise (Bonferroni-corrected) significant impacts."""
+        from repro.analysis.impact import family_significant
+
+        return family_significant(self.series)
+
+
+def run(repeats: int = 3, seed: int = 8, scale: float = 1.0) -> Fig7Result:
+    rng = spawn_rng(seed, "fig7")
+    series = {}
+    for label, factory in ENSEMBLE:
+        app = factory(scale)
+        base = app.ensemble(MonitoringSpec.unmonitored(), rng, repeats)
+        monitored = {lbl: app.ensemble(spec, rng, repeats)
+                     for lbl, spec in SPECS.items()}
+        series[label] = compare_runs(base, monitored)
+    return Fig7Result(series=series)
+
+
+def main() -> Fig7Result:
+    res = run(scale=0.25)
+    print_header("Fig. 7: Chama application runtime averages (seconds)")
+    rows = []
+    for name, summaries in res.series.items():
+        for s in summaries:
+            rows.append([name, s.label, s.mean, s.lo, s.hi, f"{s.p_value:.2f}"])
+    print_table(["application", "config", "mean s", "min s", "max s",
+                 "p-value"], rows)
+    sig = res.any_significant()
+    print(f"\nstatistically significant impacts: "
+          f"{sig if sig else 'none (matches paper)'}")
+    return res
+
+
+if __name__ == "__main__":
+    main()

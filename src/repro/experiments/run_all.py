@@ -1,0 +1,136 @@
+"""Run every experiment and print a one-page paper-vs-measured summary.
+
+    python -m repro.experiments.run_all [--quick]
+
+``--quick`` shrinks node counts and the torus so everything finishes in
+well under a minute; the default runs at the benchmark scales
+(including the full 24x24x24 torus traces) in a few minutes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments.common import PAPER, print_header, print_table
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> list[list[object]]:
+    parser = argparse.ArgumentParser(prog="repro-experiments")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced scales (~1 minute total)")
+    args = parser.parse_args(argv)
+    quick = args.quick
+    dims = (8, 8, 8) if quick else PAPER.torus_dims
+    rows: list[list[object]] = []
+    t0 = time.time()
+
+    def add(exp: str, quantity: str, paper, measured, ok: bool) -> None:
+        rows.append([exp, quantity, paper, measured, "OK" if ok else "DRIFT"])
+
+    # --- §IV-E collection cost -----------------------------------------
+    from repro.experiments import ganglia_compare
+
+    g = ganglia_compare.run(sweeps=50 if quick else 200)
+    add("§IV-E", "Ganglia/LDMS cost ratio", "~97x", f"{g.ratio:.1f}x",
+        g.ratio > 3)
+
+    # --- §IV-D footprint --------------------------------------------------
+    from repro.experiments import footprint
+
+    ch = footprint.run_chama()
+    bw = footprint.run_blue_waters()
+    add("§IV-D", "Chama set kB/node", 44, f"{ch.set_bytes / 1024:.1f}",
+        abs(ch.set_bytes - PAPER.chama_set_bytes) < 0.5 * PAPER.chama_set_bytes)
+    add("§IV-D", "BW metrics/node", 194, bw.n_metrics, bw.n_metrics == 194)
+    add("§IV-D", "data fraction", "~0.10", f"{ch.data_fraction:.3f}",
+        0.05 < ch.data_fraction < 0.2)
+    add("§IV-D", "BW wire MB/interval", 44,
+        f"{bw.wire_bytes_per_interval / 1e6:.1f}",
+        30 < bw.wire_bytes_per_interval / 1e6 < 70)
+
+    # --- §IV-A fan-in ---------------------------------------------------------
+    from repro.experiments import fanin
+
+    sock = fanin.max_fanin(fanin.sweep_transport(
+        "sock", [128, 144, 160], duration=20.0)) * fanin.SCALE
+    ugni = fanin.max_fanin(fanin.sweep_transport(
+        "ugni", [224, 256, 288], duration=20.0)) * fanin.SCALE
+    add("§IV-A", "sock fan-in", "~9000", sock, 8000 <= sock <= 10000)
+    add("§IV-A", "ugni fan-in", ">15000", ugni, ugni > 15000)
+
+    # --- Fig. 5 -----------------------------------------------------------
+    from repro.experiments import fig5_psnap_bw
+
+    f5 = fig5_psnap_bw.run(n_nodes=16 if quick else 64,
+                           iterations=200_000 if quick else 600_000)
+    add("Fig.5", "extra delay band us", "100-415",
+        f"{f5.extra_delay_lo_us:.0f}-{f5.extra_delay_hi_us:.0f}",
+        abs(f5.extra_delay_hi_us - 415) < 40)
+
+    # --- Figs. 6/7 -------------------------------------------------------------
+    from repro.experiments import fig6_bw_benchmarks, fig7_chama_apps
+
+    f6 = fig6_bw_benchmarks.run(scale=0.02 if quick else 0.125)
+    add("Fig.6", "significant impacts", "none",
+        len(f6.any_significant()), not f6.any_significant())
+    f7 = fig7_chama_apps.run(scale=0.125 if quick else 0.25)
+    add("Fig.7", "significant impacts", "none",
+        len(f7.any_significant()), not f7.any_significant())
+
+    # --- Fig. 8 ---------------------------------------------------------------
+    from repro.experiments import fig8_psnap_chama
+
+    f8 = fig8_psnap_chama.run(n_nodes=60 if quick else 120,
+                              iterations=100_000 if quick else 200_000)
+    fr = f8.tail_fractions()
+    add("Fig.8", "HM/HM_HALF tail ratio", ">>1",
+        f"{fr['HM'] / max(fr['HM_HALF'], 1e-12):.1f}",
+        fr["HM"] > 3 * fr["HM_HALF"])
+
+    # --- Figs. 9/10 --------------------------------------------------------------
+    from repro.experiments import fig9_credit_stalls, fig10_bandwidth
+
+    f9 = fig9_credit_stalls.run(dims=dims)
+    add("Fig.9", "max stall %", 85, f"{f9.max_stall_pct:.1f}",
+        abs(f9.max_stall_pct - 85) < 6)
+    add("Fig.9", "20-45% band h", 20, f"{f9.band_20_45_hours:.1f}",
+        f9.band_20_45_hours >= 15)
+    add("Fig.9", "region wraps in X", True, f9.wrap_region_found,
+        f9.wrap_region_found)
+    f10 = fig10_bandwidth.run(dims=dims)
+    add("Fig.10", "max bandwidth %", 63, f"{f10.max_bw_pct:.1f}",
+        abs(f10.max_bw_pct - 63) < 10)
+
+    # --- Fig. 11 --------------------------------------------------------------
+    from repro.experiments import fig11_lustre_opens
+
+    f11 = fig11_lustre_opens.run(n_nodes=256 if quick else 1296)
+    add("Fig.11", "bands+events recovered", True,
+        f11.bands_match and f11.events_match,
+        f11.bands_match and f11.events_match)
+
+    # --- Fig. 12 ---------------------------------------------------------------
+    from repro.experiments import fig12_oom_profile
+
+    f12 = fig12_oom_profile.run(job_nodes=16 if quick else 64,
+                                machine_nodes=20 if quick else 72,
+                                interval=10.0 if quick else 20.0)
+    add("Fig.12", "OOM kill + imbalance", True,
+        f12.oom_killed and f12.imbalance_visible,
+        f12.oom_killed and f12.imbalance_visible)
+
+    print_header(f"LDMS reproduction summary "
+                 f"({'quick' if quick else 'full'} scale, "
+                 f"{time.time() - t0:.0f}s)")
+    print_table(["experiment", "quantity", "paper", "measured", "status"],
+                rows)
+    n_ok = sum(1 for r in rows if r[-1] == "OK")
+    print(f"\n{n_ok}/{len(rows)} checks match the paper")
+    return rows
+
+
+if __name__ == "__main__":
+    main()

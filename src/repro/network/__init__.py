@@ -1,0 +1,30 @@
+"""Interconnect models.
+
+* :mod:`repro.network.torus` — the Cray Gemini 3-D torus (Blue Waters):
+  Gemini routers at each coordinate, two nodes per Gemini, deterministic
+  dimension-ordered routing, per-dimension link media types.
+* :mod:`repro.network.congestion` — credit-based flow-control stall
+  model mapping per-link offered load to stall-time fraction and
+  delivered bandwidth.
+* :mod:`repro.network.traffic` — the flow engine: jobs register flows,
+  the engine routes them, accumulates per-link load, and integrates
+  delivered-traffic/stall-time counters into gpcdr models over time.
+* :mod:`repro.network.fattree` — a two-level Infiniband fat tree
+  (Chama).
+"""
+
+from repro.network.torus import GeminiTorus, DIRS, DIR_INDEX
+from repro.network.congestion import stall_fraction, delivered_bandwidth
+from repro.network.traffic import Flow, FlowEngine
+from repro.network.fattree import FatTree
+
+__all__ = [
+    "GeminiTorus",
+    "DIRS",
+    "DIR_INDEX",
+    "stall_fraction",
+    "delivered_bandwidth",
+    "Flow",
+    "FlowEngine",
+    "FatTree",
+]

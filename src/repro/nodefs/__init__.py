@@ -1,0 +1,27 @@
+"""Synthetic /proc and /sys file trees.
+
+Sampler plugins read node counters through the small
+:class:`~repro.nodefs.fs.FileSystem` interface.  On a real Linux host
+that is :class:`~repro.nodefs.fs.RealFS` (the actual /proc and /sys);
+in the simulator it is a :class:`~repro.nodefs.fs.SynthFS` whose files
+are rendered on demand from a :class:`~repro.nodefs.host.HostModel` —
+counters that evolve with the workload the cluster model imposes.
+
+This is the substitution that replaces the paper's hardware/TOSS2 and
+Cray CLE environments (DESIGN.md): the sampler code path (open file →
+parse text → metric set) is identical in both modes.
+"""
+
+from repro.nodefs.fs import FileSystem, RealFS, SynthFS
+from repro.nodefs.host import HostModel, HostProfile
+from repro.nodefs.gpcdr import GpcdrModel, GEMINI_DIRECTIONS
+
+__all__ = [
+    "FileSystem",
+    "RealFS",
+    "SynthFS",
+    "HostModel",
+    "HostProfile",
+    "GpcdrModel",
+    "GEMINI_DIRECTIONS",
+]

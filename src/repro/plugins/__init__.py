@@ -1,0 +1,10 @@
+"""LDMS plugins: samplers and stores.
+
+Importing :mod:`repro.plugins.samplers` / :mod:`repro.plugins.stores`
+populates the corresponding registries used by
+``Ldmsd.load_sampler`` / ``Ldmsd.add_store``.
+"""
+
+from repro.plugins import samplers, stores  # noqa: F401  (registration side effects)
+
+__all__ = ["samplers", "stores"]

@@ -1,0 +1,50 @@
+"""Sampler plugins.
+
+Importing this package registers every built-in sampler in
+:data:`repro.core.sampler.sampler_registry`:
+
+========== ============================================= =================
+name       source                                        schema
+========== ============================================= =================
+meminfo    /proc/meminfo                                 ``meminfo``
+procstat   /proc/stat (CPU utilization)                  ``procstat``
+loadavg    /proc/loadavg                                 ``loadavg``
+lustre     /proc/fs/lustre/llite/*/stats                 ``lustre``
+nfs        /proc/net/rpc/nfs                             ``nfs``
+ethernet   /sys/class/net/*/statistics/*                 ``ethernet``
+infiniband /sys/class/infiniband/*/ports/*/counters/*    ``infiniband``
+lnet       /proc/sys/lnet/stats                          ``lnet``
+gpcdr      Cray gpcdr HSN metrics (+ derived pcts)       ``gpcdr``
+bw_custom  Blue Waters combined node set (§IV-F)         ``bw_custom``
+jobid      resource-manager job id on the node           ``jobid``
+synthetic  configurable generated metrics (benchmarks)   ``synthetic``
+========== ============================================= =================
+"""
+
+from repro.plugins.samplers.meminfo import MeminfoSampler
+from repro.plugins.samplers.procstat import ProcstatSampler
+from repro.plugins.samplers.loadavg import LoadavgSampler
+from repro.plugins.samplers.lustre import LustreSampler
+from repro.plugins.samplers.nfs import NfsSampler
+from repro.plugins.samplers.ethernet import EthernetSampler
+from repro.plugins.samplers.infiniband import InfinibandSampler
+from repro.plugins.samplers.lnet import LnetSampler
+from repro.plugins.samplers.gpcdr import GpcdrSampler
+from repro.plugins.samplers.bw_custom import BlueWatersSampler
+from repro.plugins.samplers.jobid import JobidSampler
+from repro.plugins.samplers.synthetic import SyntheticSampler
+
+__all__ = [
+    "MeminfoSampler",
+    "ProcstatSampler",
+    "LoadavgSampler",
+    "LustreSampler",
+    "NfsSampler",
+    "EthernetSampler",
+    "InfinibandSampler",
+    "LnetSampler",
+    "GpcdrSampler",
+    "BlueWatersSampler",
+    "JobidSampler",
+    "SyntheticSampler",
+]

@@ -1,0 +1,65 @@
+"""Cray HSN sampler: gpcdr metrics plus derived utilization metrics.
+
+Collects per-direction Gemini link metrics from the gpcdr /sys file and
+derives, over each sample period (§IV-F):
+
+* ``percent_stalled_<d>`` — percent of wall time the link spent in
+  output credit stalls (Fig. 9's quantity);
+* ``percent_bw_<d>`` — percent of the link's theoretical maximum
+  bandwidth used, based on the link media type (Fig. 10's quantity).
+
+Derivation needs the previous raw values, which the plugin keeps as
+private state — the metric set itself still carries no history.
+"""
+
+from __future__ import annotations
+
+from repro.core.metric import MetricType
+from repro.core.sampler import SamplerPlugin, register_sampler
+from repro.nodefs.gpcdr import GEMINI_DIRECTIONS, GPCDR_PATH
+from repro.plugins.samplers.parsers import parse_gpcdr
+
+__all__ = ["GpcdrSampler"]
+
+RAW = ("traffic", "packets", "stalled", "linkstatus")
+DERIVED = ("percent_stalled", "percent_bw", "avg_packet_size")
+
+
+@register_sampler("gpcdr")
+class GpcdrSampler(SamplerPlugin):
+    """Samples raw HSN counters (U64) and derived percents (F64)."""
+
+    def config(self, instance: str, component_id: int = 0,
+               path: str = GPCDR_PATH, **kwargs) -> None:
+        super().config(instance, component_id, **kwargs)
+        self.path = path
+        metrics: list[tuple[str, MetricType]] = []
+        for d in GEMINI_DIRECTIONS:
+            metrics.extend((f"{raw}_{d}", MetricType.U64) for raw in RAW)
+            metrics.extend((f"{der}_{d}", MetricType.F64) for der in DERIVED)
+        self.set = self.create_set(instance, "gpcdr", metrics)
+        self._prev: dict[str, float] | None = None
+        self._prev_ts: float = 0.0
+
+    def do_sample(self, now: float) -> None:
+        data = parse_gpcdr(self.daemon.fs.read(self.path))
+        ts = float(data.get("timestamp", now))
+        dt = ts - self._prev_ts if self._prev is not None else 0.0
+        for d in GEMINI_DIRECTIONS:
+            for raw in RAW:
+                self.set.set_value(f"{raw}_{d}", int(data.get(f"{raw}_{d}", 0)))
+            if self._prev is not None and dt > 0:
+                d_traffic = data.get(f"traffic_{d}", 0) - self._prev.get(f"traffic_{d}", 0)
+                d_packets = data.get(f"packets_{d}", 0) - self._prev.get(f"packets_{d}", 0)
+                d_stall_ns = data.get(f"stalled_{d}", 0) - self._prev.get(f"stalled_{d}", 0)
+                speed = max(float(data.get(f"linkspeed_{d}", 0)), 1.0)
+                pct_stall = min(100.0 * (d_stall_ns / 1e9) / dt, 100.0)
+                pct_bw = min(100.0 * (d_traffic / dt) / speed, 100.0)
+                avg_pkt = d_traffic / d_packets if d_packets > 0 else 0.0
+            else:
+                pct_stall = pct_bw = avg_pkt = 0.0
+            self.set.set_value(f"percent_stalled_{d}", max(pct_stall, 0.0))
+            self.set.set_value(f"percent_bw_{d}", max(pct_bw, 0.0))
+            self.set.set_value(f"avg_packet_size_{d}", max(avg_pkt, 0.0))
+        self._prev = {k: float(v) for k, v in data.items()}
+        self._prev_ts = ts

@@ -1,0 +1,28 @@
+"""LNET traffic sampler: /proc/sys/lnet/stats (part of the Blue Waters
+custom set, §IV-F)."""
+
+from __future__ import annotations
+
+from repro.core.metric import MetricType
+from repro.core.sampler import SamplerPlugin, register_sampler
+from repro.plugins.samplers.parsers import LNET_FIELDS, parse_lnet_stats
+
+__all__ = ["LnetSampler"]
+
+
+@register_sampler("lnet")
+class LnetSampler(SamplerPlugin):
+    """Samples the 11 LNET counters as U64 metrics."""
+
+    def config(self, instance: str, component_id: int = 0,
+               path: str = "/proc/sys/lnet/stats", **kwargs) -> None:
+        super().config(instance, component_id, **kwargs)
+        self.path = path
+        self.set = self.create_set(
+            instance, "lnet", [(m, MetricType.U64) for m in LNET_FIELDS]
+        )
+
+    def do_sample(self, now: float) -> None:
+        data = parse_lnet_stats(self.daemon.fs.read(self.path))
+        for m in LNET_FIELDS:
+            self.set.set_value(m, data.get(m, 0))

@@ -1,0 +1,29 @@
+"""NFS client sampler: /proc/net/rpc/nfs (part of the Chama set, §IV-G)."""
+
+from __future__ import annotations
+
+from repro.core.metric import MetricType
+from repro.core.sampler import SamplerPlugin, register_sampler
+from repro.plugins.samplers.parsers import parse_nfs
+
+__all__ = ["NfsSampler"]
+
+
+@register_sampler("nfs")
+class NfsSampler(SamplerPlugin):
+    """Samples RPC call totals and NFSv3 op counts as U64 metrics."""
+
+    METRICS = ("rpc_calls", "rpc_retrans", "nfs3_ops")
+
+    def config(self, instance: str, component_id: int = 0,
+               path: str = "/proc/net/rpc/nfs", **kwargs) -> None:
+        super().config(instance, component_id, **kwargs)
+        self.path = path
+        self.set = self.create_set(
+            instance, "nfs", [(m, MetricType.U64) for m in self.METRICS]
+        )
+
+    def do_sample(self, now: float) -> None:
+        data = parse_nfs(self.daemon.fs.read(self.path))
+        for m in self.METRICS:
+            self.set.set_value(m, data.get(m, 0))

@@ -1,0 +1,69 @@
+"""Synthetic sampler: configurable metric count and value pattern.
+
+Used by the footprint/fan-in benchmarks, by scale tests, and as a
+template for user-written plugins.  Patterns:
+
+* ``counter`` — each metric increments by its index+1 per sample;
+* ``constant`` — metric i always holds i;
+* ``random`` — uniform random u64 values (seeded).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.metric import MetricType
+from repro.core.sampler import SamplerPlugin, register_sampler
+from repro.util.errors import ConfigError
+from repro.util.rngtools import spawn_rng
+
+__all__ = ["SyntheticSampler"]
+
+
+@register_sampler("synthetic")
+class SyntheticSampler(SamplerPlugin):
+    """N generated metrics in one set (schema ``synthetic``).
+
+    Config options
+    --------------
+    num_metrics:
+        How many metrics (default 100).
+    pattern:
+        ``counter`` (default) / ``constant`` / ``random``.
+    value_type:
+        Metric type name (default ``u64``).
+    seed:
+        RNG seed for the ``random`` pattern.
+    """
+
+    def config(self, instance: str, component_id: int = 0, num_metrics=100,
+               pattern: str = "counter", value_type: str = "u64",
+               seed: int = 0, **kwargs) -> None:
+        super().config(instance, component_id, **kwargs)
+        n = int(num_metrics)
+        if n < 1:
+            raise ConfigError("synthetic: num_metrics must be >= 1")
+        if pattern not in ("counter", "constant", "random"):
+            raise ConfigError(f"synthetic: unknown pattern {pattern!r}")
+        self.pattern = pattern
+        self.mtype = MetricType.parse(value_type)
+        self.rng = spawn_rng(int(seed), "synthetic", instance)
+        width = len(str(n - 1))
+        self.names = tuple(f"metric_{i:0{width}d}" for i in range(n))
+        self.set = self.create_set(
+            instance, "synthetic", [(m, self.mtype) for m in self.names]
+        )
+        self._ticks = 0
+
+    def do_sample(self, now: float) -> None:
+        self._ticks += 1
+        if self.pattern == "counter":
+            for i, name in enumerate(self.names):
+                self.set.set_value(name, self._ticks * (i + 1))
+        elif self.pattern == "constant":
+            for i, name in enumerate(self.names):
+                self.set.set_value(name, i)
+        else:
+            values = self.rng.integers(0, 2**32, size=len(self.names))
+            for name, value in zip(self.names, values):
+                self.set.set_value(name, int(value))

@@ -1,0 +1,27 @@
+"""Store plugins.
+
+Paper §IV-A: "Storage plugins write in a variety of formats.  Currently
+these include MySQL, flat file, and a proprietary structured file
+format called Scalable Object Store (SOS).  The flat file storage is
+available in either a file per metric name, or a CSV file per metric
+set."
+
+Provided here:
+
+========== ================================================== =========
+name       format                                             module
+========== ================================================== =========
+store_csv  one CSV file per schema (file per metric set)      csv_store
+flatfile   one flat file per metric name                      flatfile
+sos        binary records + time index (SOS stand-in)         sos
+memory     in-memory queryable rows (tests/analysis; the      memstore
+           MySQL-role store)
+========== ================================================== =========
+"""
+
+from repro.plugins.stores.csv_store import CsvStore
+from repro.plugins.stores.flatfile import FlatFileStore
+from repro.plugins.stores.sos import SosStore
+from repro.plugins.stores.memstore import MemoryStore
+
+__all__ = ["CsvStore", "FlatFileStore", "SosStore", "MemoryStore"]

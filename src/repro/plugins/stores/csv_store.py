@@ -1,0 +1,135 @@
+"""CSV store: one file per metric set schema.
+
+Row format mirrors LDMS's store_csv::
+
+    Time,Producer,CompId,<metric1>,<metric2>,...
+
+``CompId`` is the component id of the first metric (the per-node id in
+all built-in samplers).  An optional separate ``.HEADER`` file carries
+the column names (paper §IV-C: "optionally write header to separate
+file"); otherwise the header is the first row of the data file.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TextIO
+
+from repro.core.store import StorePlugin, StoreRecord, register_store
+from repro.util.errors import ConfigError, StoreError
+
+__all__ = ["CsvStore"]
+
+
+@register_store("store_csv")
+class CsvStore(StorePlugin):
+    """Buffered CSV writer.
+
+    Config options
+    --------------
+    path:
+        Container directory; one ``<schema>.csv`` per schema inside.
+    altheader:
+        Truthy to write the header to ``<schema>.HEADER`` instead of
+        the data file.
+    buffer_lines:
+        Lines buffered before an OS write (default 64).
+    roll_bytes:
+        When positive, roll the data file once it exceeds this size:
+        the current file is renamed ``<schema>.csv.<n>`` and a fresh
+        file (with header, unless altheader) is started.  Daily volumes
+        of tens of GB (§IV-D) make rollover operationally necessary.
+    """
+
+    def config(self, path: str = "", altheader=False, buffer_lines=64,
+               roll_bytes=0, **kwargs) -> None:
+        super().config(**kwargs)
+        if not path:
+            raise ConfigError("store_csv: path= is required")
+        self.path = path
+        if isinstance(altheader, str):
+            altheader = altheader.lower() in ("1", "true", "yes")
+        self.altheader = bool(altheader)
+        self.buffer_lines = int(buffer_lines)
+        self.roll_bytes = int(roll_bytes)
+        os.makedirs(path, exist_ok=True)
+        self._files: dict[str, TextIO] = {}
+        self._headers: dict[str, tuple[str, ...]] = {}
+        self._buffers: dict[str, list[str]] = {}
+        self._roll_counts: dict[str, int] = {}
+        self._bytes = 0
+
+    def _handle(self, record: StoreRecord) -> str:
+        schema = record.schema
+        if schema not in self._files:
+            fpath = os.path.join(self.path, f"{schema}.csv")
+            self._files[schema] = open(fpath, "a", encoding="utf-8")
+            self._headers[schema] = record.names
+            self._buffers[schema] = []
+            header = "Time,Producer,CompId," + ",".join(record.names) + "\n"
+            if self.altheader:
+                with open(os.path.join(self.path, f"{schema}.HEADER"), "w",
+                          encoding="utf-8") as hf:
+                    hf.write(header)
+            elif self._files[schema].tell() == 0:
+                self._buffers[schema].append(header)
+        elif self._headers[schema] != record.names:
+            raise StoreError(
+                f"store_csv: schema {schema!r} metric names changed; "
+                "configure one store instance per distinct set layout"
+            )
+        return schema
+
+    def store(self, record: StoreRecord) -> None:
+        schema = self._handle(record)
+        comp_id = record.component_ids[0] if record.component_ids else 0
+        row = (
+            f"{record.timestamp:.6f},{record.producer},{comp_id},"
+            + ",".join(self._fmt(v) for v in record.values)
+            + "\n"
+        )
+        buf = self._buffers[schema]
+        buf.append(row)
+        if len(buf) >= self.buffer_lines:
+            self._drain(schema)
+
+    @staticmethod
+    def _fmt(v: float | int) -> str:
+        return f"{v:.6g}" if isinstance(v, float) else str(v)
+
+    def _drain(self, schema: str) -> None:
+        buf = self._buffers[schema]
+        if buf:
+            text = "".join(buf)
+            self._files[schema].write(text)
+            self._bytes += len(text)
+            buf.clear()
+            if self.roll_bytes > 0 and self._files[schema].tell() >= self.roll_bytes:
+                self._roll(schema)
+
+    def _roll(self, schema: str) -> None:
+        """Rotate <schema>.csv to <schema>.csv.<n> and start fresh."""
+        self._files[schema].close()
+        n = self._roll_counts.get(schema, 0) + 1
+        self._roll_counts[schema] = n
+        fpath = os.path.join(self.path, f"{schema}.csv")
+        os.replace(fpath, f"{fpath}.{n}")
+        self._files[schema] = open(fpath, "a", encoding="utf-8")
+        if not self.altheader:
+            header = ("Time,Producer,CompId,"
+                      + ",".join(self._headers[schema]) + "\n")
+            self._files[schema].write(header)
+
+    def flush(self) -> None:
+        for schema in list(self._files):
+            self._drain(schema)
+            self._files[schema].flush()
+
+    def close(self) -> None:
+        self.flush()
+        for f in self._files.values():
+            f.close()
+        self._files.clear()
+
+    def bytes_written(self) -> int:
+        return self._bytes

@@ -1,0 +1,83 @@
+"""Flat-file store: one file per metric name.
+
+Paper §IV-A: "The flat file storage is available in ... a file per
+metric name (e.g. Active and Cached memory are stored in 2 separate
+files)".  Each line is ``<timestamp> <component_id> <value>``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import TextIO
+
+from repro.core.store import StorePlugin, StoreRecord, register_store
+from repro.util.errors import ConfigError
+
+__all__ = ["FlatFileStore"]
+
+_UNSAFE = re.compile(r"[^A-Za-z0-9._#+-]")
+
+
+@register_store("flatfile")
+class FlatFileStore(StorePlugin):
+    """One append-only file per (schema, metric name).
+
+    Config options
+    --------------
+    path:
+        Container directory; files land in ``<path>/<schema>/<metric>``.
+    buffer_lines:
+        Per-file buffered lines before an OS write (default 64).
+    """
+
+    def config(self, path: str = "", buffer_lines=64, **kwargs) -> None:
+        super().config(**kwargs)
+        if not path:
+            raise ConfigError("flatfile: path= is required")
+        self.path = path
+        self.buffer_lines = int(buffer_lines)
+        self._files: dict[tuple[str, str], TextIO] = {}
+        self._buffers: dict[tuple[str, str], list[str]] = {}
+        self._bytes = 0
+
+    def _handle(self, schema: str, metric: str) -> tuple[str, str]:
+        key = (schema, metric)
+        if key not in self._files:
+            d = os.path.join(self.path, _UNSAFE.sub("_", schema))
+            os.makedirs(d, exist_ok=True)
+            self._files[key] = open(
+                os.path.join(d, _UNSAFE.sub("_", metric)), "a", encoding="utf-8"
+            )
+            self._buffers[key] = []
+        return key
+
+    def store(self, record: StoreRecord) -> None:
+        for name, comp_id, value in zip(record.names, record.component_ids, record.values):
+            key = self._handle(record.schema, name)
+            buf = self._buffers[key]
+            buf.append(f"{record.timestamp:.6f} {comp_id} {value}\n")
+            if len(buf) >= self.buffer_lines:
+                self._drain(key)
+
+    def _drain(self, key: tuple[str, str]) -> None:
+        buf = self._buffers[key]
+        if buf:
+            text = "".join(buf)
+            self._files[key].write(text)
+            self._bytes += len(text)
+            buf.clear()
+
+    def flush(self) -> None:
+        for key in list(self._files):
+            self._drain(key)
+            self._files[key].flush()
+
+    def close(self) -> None:
+        self.flush()
+        for f in self._files.values():
+            f.close()
+        self._files.clear()
+
+    def bytes_written(self) -> int:
+        return self._bytes

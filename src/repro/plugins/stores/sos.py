@@ -1,0 +1,152 @@
+"""SOS store: binary records with a time index.
+
+A stand-in for LDMS's Scalable Object Store: per schema, a pair of
+files —
+
+* ``<schema>.sos``  — fixed-width little-endian records:
+  ``f64 timestamp | u32 comp_id | u32 card | card x f64 values``;
+* ``<schema>.sidx`` — ``(f64 timestamp, u64 offset)`` pairs enabling
+  binary-searched time-range scans without reading the data file.
+
+The first record freezes the schema's metric names into a JSON sidecar
+``<schema>.schema.json`` so readers can label columns.
+
+:class:`SosReader` provides the query side (used by the analysis
+modules): iterate records, or select a [t0, t1) time range.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import os
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO, Iterator
+
+from repro.core.store import StorePlugin, StoreRecord, register_store
+from repro.util.errors import ConfigError, StoreError
+
+__all__ = ["SosStore", "SosReader"]
+
+_REC_HDR = struct.Struct("<dII")
+_IDX_ENT = struct.Struct("<dQ")
+
+
+@register_store("sos")
+class SosStore(StorePlugin):
+    """Binary time-indexed store.
+
+    Config options
+    --------------
+    path:
+        Container directory.
+    """
+
+    def config(self, path: str = "", **kwargs) -> None:
+        super().config(**kwargs)
+        if not path:
+            raise ConfigError("sos: path= is required")
+        self.path = path
+        os.makedirs(path, exist_ok=True)
+        self._data: dict[str, BinaryIO] = {}
+        self._index: dict[str, BinaryIO] = {}
+        self._names: dict[str, tuple[str, ...]] = {}
+        self._bytes = 0
+
+    def _handle(self, record: StoreRecord) -> str:
+        schema = record.schema
+        if schema not in self._data:
+            base = os.path.join(self.path, schema)
+            self._data[schema] = open(base + ".sos", "ab")
+            self._index[schema] = open(base + ".sidx", "ab")
+            self._names[schema] = record.names
+            meta_path = base + ".schema.json"
+            if not os.path.exists(meta_path):
+                with open(meta_path, "w", encoding="utf-8") as f:
+                    json.dump({"schema": schema, "metrics": list(record.names)}, f)
+        elif self._names[schema] != record.names:
+            raise StoreError(f"sos: schema {schema!r} layout changed")
+        return schema
+
+    def store(self, record: StoreRecord) -> None:
+        schema = self._handle(record)
+        df, xf = self._data[schema], self._index[schema]
+        offset = df.tell()
+        comp_id = record.component_ids[0] if record.component_ids else 0
+        payload = _REC_HDR.pack(record.timestamp, comp_id, len(record.values))
+        payload += struct.pack(f"<{len(record.values)}d", *[float(v) for v in record.values])
+        df.write(payload)
+        xf.write(_IDX_ENT.pack(record.timestamp, offset))
+        self._bytes += len(payload) + _IDX_ENT.size
+
+    def flush(self) -> None:
+        for f in list(self._data.values()) + list(self._index.values()):
+            f.flush()
+
+    def close(self) -> None:
+        self.flush()
+        for f in list(self._data.values()) + list(self._index.values()):
+            f.close()
+        self._data.clear()
+        self._index.clear()
+
+    def bytes_written(self) -> int:
+        return self._bytes
+
+
+@dataclass(frozen=True)
+class SosRecord:
+    timestamp: float
+    component_id: int
+    values: tuple[float, ...]
+
+
+class SosReader:
+    """Reads one schema's SOS container."""
+
+    def __init__(self, path: str, schema: str):
+        base = os.path.join(path, schema)
+        with open(base + ".schema.json", "r", encoding="utf-8") as f:
+            meta = json.load(f)
+        self.schema = schema
+        self.metric_names: list[str] = meta["metrics"]
+        with open(base + ".sidx", "rb") as f:
+            raw = f.read()
+        n = len(raw) // _IDX_ENT.size
+        self._times = [0.0] * n
+        self._offsets = [0] * n
+        for i in range(n):
+            t, off = _IDX_ENT.unpack_from(raw, i * _IDX_ENT.size)
+            self._times[i] = t
+            self._offsets[i] = off
+        self._data_path = base + ".sos"
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def _read_at(self, f: BinaryIO, offset: int) -> SosRecord:
+        f.seek(offset)
+        hdr = f.read(_REC_HDR.size)
+        ts, comp_id, card = _REC_HDR.unpack(hdr)
+        vals = struct.unpack(f"<{card}d", f.read(8 * card))
+        return SosRecord(ts, comp_id, vals)
+
+    def __iter__(self) -> Iterator[SosRecord]:
+        with open(self._data_path, "rb") as f:
+            for off in self._offsets:
+                yield self._read_at(f, off)
+
+    def range(self, t0: float, t1: float) -> list[SosRecord]:
+        """Records with t0 <= timestamp < t1, via the index.
+
+        Note: the index is append-ordered; LDMS store time is monotone
+        per aggregator, so binary search applies.
+        """
+        lo = bisect.bisect_left(self._times, t0)
+        hi = bisect.bisect_left(self._times, t1)
+        out = []
+        with open(self._data_path, "rb") as f:
+            for i in range(lo, hi):
+                out.append(self._read_at(f, self._offsets[i]))
+        return out

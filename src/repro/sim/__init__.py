@@ -1,0 +1,33 @@
+"""Discrete-event simulation kernel.
+
+The same ``ldmsd`` code that runs on real threads and sockets also runs
+inside this kernel at cluster scale in simulated time.  The kernel is a
+small simpy-style engine:
+
+* :class:`~repro.sim.engine.Engine` — event heap + simulated clock.
+* :class:`~repro.sim.engine.Event` / ``Timeout`` — waitable occurrences.
+* :class:`~repro.sim.process.Process` — generator-based coroutines that
+  ``yield`` events.
+* :class:`~repro.sim.resources.Resource` — FIFO server pools (CPU cores,
+  worker threads).
+* :class:`~repro.sim.resources.CpuCore` — a core that tracks busy
+  intervals so application models can account for OS-noise-style
+  perturbation from monitoring daemons.
+"""
+
+from repro.sim.engine import Engine, Event, Timeout, AllOf, AnyOf
+from repro.sim.process import Process, Interrupt
+from repro.sim.resources import Resource, CpuCore, NoiseRecord
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Process",
+    "Interrupt",
+    "Resource",
+    "CpuCore",
+    "NoiseRecord",
+]

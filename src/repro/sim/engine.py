@@ -1,0 +1,265 @@
+"""Event-heap simulation engine.
+
+Design notes
+------------
+* Time is a ``float`` in seconds.  Events scheduled at equal times fire
+  in FIFO scheduling order (a monotone sequence number breaks ties), so
+  runs are fully deterministic.
+* An :class:`Event` carries a list of callbacks; triggering an event
+  schedules it onto the heap, and processing it invokes the callbacks.
+  This two-phase structure (trigger now, fire at heap-pop) is what makes
+  "two processes wake at the same instant" well-defined.
+* The engine itself knows nothing about processes; ``repro.sim.process``
+  layers generator coroutines on top of callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+from repro.util.errors import SimulationError
+
+__all__ = ["Engine", "Event", "Timeout", "AllOf", "AnyOf"]
+
+# Event lifecycle states.
+PENDING = 0
+TRIGGERED = 1
+PROCESSED = 2
+
+
+class Event:
+    """A waitable occurrence inside an :class:`Engine`.
+
+    Callbacks are invoked exactly once, in registration order, when the
+    engine pops the event off the heap.  ``succeed``/``fail`` trigger the
+    event immediately (it fires at the current simulation time).
+    """
+
+    __slots__ = ("engine", "callbacks", "_state", "_value", "_ok")
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._state = PENDING
+        self._value: Any = None
+        self._ok = True
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._state >= TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        return self._state == PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._state == PENDING:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with an optional payload."""
+        self._trigger(True, value, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event as failed; waiters see ``exc`` raised."""
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._trigger(False, exc, delay)
+        return self
+
+    def _trigger(self, ok: bool, value: Any, delay: float) -> None:
+        if self._state != PENDING:
+            raise SimulationError("event already triggered")
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self._state = TRIGGERED
+        self._ok = ok
+        self._value = value
+        self.engine._push(self, delay)
+
+    def _fire(self) -> None:
+        self._state = PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+
+class Timeout(Event):
+    """An event that fires automatically after ``delay`` seconds."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None):
+        super().__init__(engine)
+        self._state = TRIGGERED
+        self._ok = True
+        self._value = value
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        engine._push(self, delay)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, engine: "Engine", events: list[Event]):
+        super().__init__(engine)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if not self._events:
+            self.succeed([])
+            return
+        for ev in self._events:
+            if ev.processed:
+                self._child_fired(ev)
+            else:
+                ev.callbacks.append(self._child_fired)
+
+    def _child_fired(self, ev: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every child event has fired; value is the value list."""
+
+    __slots__ = ()
+
+    def _child_fired(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e.value for e in self._events])
+
+
+class AnyOf(_Condition):
+    """Fires when the first child event fires; value is that child."""
+
+    __slots__ = ()
+
+    def _child_fired(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self.succeed(ev)
+
+
+class Engine:
+    """The simulation event loop.
+
+    >>> eng = Engine()
+    >>> hits = []
+    >>> _ = eng.call_later(2.5, lambda: hits.append(eng.now))
+    >>> eng.run()
+    >>> hits
+    [2.5]
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self._nprocessed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._nprocessed
+
+    # -- event construction ----------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def call_later(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule a plain callback; returns the underlying event.
+
+        Cancel by calling :meth:`cancel` on the returned event before it
+        fires.
+        """
+        ev = Timeout(self, delay)
+        ev.callbacks.append(lambda _ev: fn(*args))
+        return ev
+
+    def call_at(self, when: float, fn: Callable[..., Any], *args: Any) -> Event:
+        if when < self._now:
+            raise SimulationError(f"call_at({when}) is in the past (now={self._now})")
+        return self.call_later(when - self._now, fn, *args)
+
+    @staticmethod
+    def cancel(ev: Event) -> None:
+        """Neutralize a scheduled callback event (it fires but does nothing)."""
+        ev.callbacks.clear()
+
+    # -- heap management ---------------------------------------------------
+    def _push(self, ev: Event, delay: float) -> None:
+        heapq.heappush(self._heap, (self._now + delay, next(self._seq), ev))
+
+    # -- running -----------------------------------------------------------
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on empty event heap")
+        when, _seq, ev = heapq.heappop(self._heap)
+        if when < self._now:
+            raise SimulationError("event heap time went backwards")
+        self._now = when
+        self._nprocessed += 1
+        ev._fire()
+
+    def peek(self) -> float:
+        """Time of the next event, or ``float('inf')`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the heap drains, a deadline passes, or an event fires.
+
+        * ``until=None`` — run to exhaustion.
+        * ``until=<float>`` — run until simulated time reaches the value;
+          the clock is advanced to exactly that time.
+        * ``until=<Event>`` — run until that event has been processed and
+          return its value (raising if it failed).
+        """
+        if isinstance(until, Event):
+            sentinel = until
+            while not sentinel.processed:
+                if not self._heap:
+                    raise SimulationError("simulation ended before awaited event fired")
+                self.step()
+            if not sentinel.ok:
+                raise sentinel.value
+            return sentinel.value
+
+        deadline = float("inf") if until is None else float(until)
+        if deadline < self._now:
+            raise SimulationError(f"run(until={deadline}) is in the past (now={self._now})")
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        if deadline != float("inf"):
+            self._now = deadline
+        return None

@@ -1,0 +1,114 @@
+"""Generator-coroutine processes on top of the event engine.
+
+A process is a generator that yields :class:`~repro.sim.engine.Event`
+instances; the process resumes when the yielded event fires, receiving
+the event's value (or the exception, for failed events).  A process is
+itself an event that fires when the generator returns, so processes can
+wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.sim.engine import Engine, Event
+
+__all__ = ["Process", "Interrupt"]
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted."""
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """Drives a generator coroutine; is an Event that fires on return."""
+
+    __slots__ = ("_gen", "_waiting_on", "name")
+
+    def __init__(self, engine: Engine, gen: Generator[Event, Any, Any], name: str = ""):
+        super().__init__(engine)
+        self._gen = gen
+        self._waiting_on: Event | None = None
+        self.name = name or getattr(gen, "__name__", "process")
+        # Kick off on the next engine step at the current time.
+        boot = engine.event()
+        boot.callbacks.append(self._resume)
+        boot.succeed()
+
+    @property
+    def alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        A no-op if the process already finished.  The event the process
+        was waiting on is detached: when it later fires, the process
+        ignores it.
+        """
+        if self.triggered:
+            return
+        waiting = self._waiting_on
+        if waiting is not None and self._resume in waiting.callbacks:
+            waiting.callbacks.remove(self._resume)
+        self._waiting_on = None
+        wake = self.engine.event()
+        wake.callbacks.append(lambda _ev: self._step(throw=Interrupt(cause)))
+        wake.succeed()
+
+    # -- driving -----------------------------------------------------------
+    def _resume(self, ev: Event) -> None:
+        self._waiting_on = None
+        if ev.ok:
+            self._step(send=ev.value)
+        else:
+            self._step(throw=ev.value)
+
+    def _step(self, send: Any = None, throw: BaseException | None = None) -> None:
+        if self.triggered:
+            return
+        try:
+            if throw is not None:
+                target = self._gen.throw(throw)
+            else:
+                target = self._gen.send(send)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            # Propagate: if nobody waits on this process the simulation
+            # should crash loudly rather than swallow the error.
+            if self.callbacks:
+                self.fail(exc)
+                return
+            raise
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Events"
+            )
+        if target.processed:
+            # Already fired: resume immediately (same-time semantics).
+            wake = self.engine.event()
+            wake.callbacks.append(self._resume_from_processed(target))
+            wake.succeed()
+        else:
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
+
+    def _resume_from_processed(self, target: Event):
+        def _cb(_ev: Event) -> None:
+            if target.ok:
+                self._step(send=target.value)
+            else:
+                self._step(throw=target.value)
+
+        return _cb
+
+
+def spawn(engine: Engine, gen: Generator[Event, Any, Any], name: str = "") -> Process:
+    """Convenience constructor mirroring ``simpy.Environment.process``."""
+    return Process(engine, gen, name=name)

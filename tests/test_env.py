@@ -1,0 +1,179 @@
+"""Tests for the execution environments (SimEnv and RealEnv)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.env import RealEnv, SimEnv
+from repro.sim.engine import Engine
+from repro.sim.resources import CpuCore
+
+
+@pytest.fixture
+def sim():
+    eng = Engine()
+    return eng, SimEnv(eng)
+
+
+class TestSimEnv:
+    def test_now_tracks_engine(self, sim):
+        eng, env = sim
+        eng.call_later(5.0, lambda: None)
+        eng.run()
+        assert env.now() == 5.0
+
+    def test_call_later(self, sim):
+        eng, env = sim
+        hits = []
+        env.call_later(2.0, lambda: hits.append(env.now()))
+        eng.run()
+        assert hits == [2.0]
+
+    def test_call_later_cancel(self, sim):
+        eng, env = sim
+        hits = []
+        h = env.call_later(2.0, lambda: hits.append(1))
+        h.cancel()
+        eng.run()
+        assert hits == []
+
+    def test_call_every_async_period(self, sim):
+        eng, env = sim
+        hits = []
+        env.call_every(1.0, lambda: hits.append(env.now()))
+        eng.run(until=4.5)
+        assert hits == [1.0, 2.0, 3.0, 4.0]
+
+    def test_call_every_cancel_stops(self, sim):
+        eng, env = sim
+        hits = []
+        h = env.call_every(1.0, lambda: hits.append(env.now()))
+        eng.call_later(2.5, h.cancel)
+        eng.run(until=10.0)
+        assert hits == [1.0, 2.0]
+
+    def test_call_every_synchronous_alignment(self, sim):
+        eng, env = sim
+        hits = []
+        # Start at t=0.7; synchronous with offset 0.2 must fire at
+        # 1.2, 2.2, 3.2 ...
+        eng.call_later(0.7, lambda: env.call_every(
+            1.0, lambda: hits.append(round(env.now(), 6)),
+            synchronous=True, offset=0.2))
+        eng.run(until=3.5)
+        assert hits == [1.2, 2.2, 3.2]
+
+    def test_call_every_rejects_nonpositive(self, sim):
+        _, env = sim
+        with pytest.raises(ValueError):
+            env.call_every(0.0, lambda: None)
+
+    def test_pool_cost_advances_time_and_charges_core(self, sim):
+        eng, env = sim
+        core = CpuCore()
+        pool = env.make_pool("p", 1)
+        done = []
+        pool.submit(lambda: done.append(env.now()), cost=0.25, core=core,
+                    tag="x")
+        eng.run()
+        assert done == [0.25]
+        assert core.busy_total == pytest.approx(0.25)
+        assert core.records()[0].tag == "x"
+
+    def test_pool_on_start_runs_at_grant(self, sim):
+        eng, env = sim
+        pool = env.make_pool("p", 1)
+        events = []
+        pool.submit(lambda: events.append(("end", env.now())), cost=0.5,
+                    on_start=lambda: events.append(("start", env.now())))
+        eng.run()
+        assert events == [("start", 0.0), ("end", 0.5)]
+
+    def test_pool_capacity_serializes(self, sim):
+        eng, env = sim
+        pool = env.make_pool("p", 1)
+        ends = []
+        pool.submit(lambda: ends.append(env.now()), cost=1.0)
+        pool.submit(lambda: ends.append(env.now()), cost=1.0)
+        eng.run()
+        assert ends == [1.0, 2.0]
+        assert pool.tasks_run == 2
+        assert pool.busy_time == pytest.approx(2.0)
+
+    def test_null_lock_reentrant(self, sim):
+        _, env = sim
+        lock = env.make_lock()
+        with lock:
+            with lock:
+                pass
+
+
+class TestRealEnv:
+    def test_call_later_fires(self):
+        env = RealEnv()
+        try:
+            fired = threading.Event()
+            env.call_later(0.05, fired.set)
+            assert fired.wait(2.0)
+        finally:
+            env.shutdown()
+
+    def test_cancel_prevents_fire(self):
+        env = RealEnv()
+        try:
+            hits = []
+            h = env.call_later(0.2, lambda: hits.append(1))
+            h.cancel()
+            time.sleep(0.4)
+            assert hits == []
+        finally:
+            env.shutdown()
+
+    def test_call_every_fires_repeatedly(self):
+        env = RealEnv()
+        try:
+            count = {"n": 0}
+            done = threading.Event()
+
+            def tick():
+                count["n"] += 1
+                if count["n"] >= 3:
+                    done.set()
+
+            h = env.call_every(0.05, tick)
+            assert done.wait(3.0)
+            h.cancel()
+        finally:
+            env.shutdown()
+
+    def test_pool_runs_tasks(self):
+        env = RealEnv()
+        try:
+            pool = env.make_pool("w", 2)
+            done = threading.Event()
+            order = []
+            pool.submit(lambda: order.append("task") or done.set(),
+                        on_start=lambda: order.append("start"))
+            assert done.wait(2.0)
+            assert order == ["start", "task"]
+        finally:
+            env.shutdown()
+
+    def test_lock_is_real(self):
+        env = RealEnv()
+        try:
+            lock = env.make_lock()
+            assert lock.acquire()
+            lock.release()
+        finally:
+            env.shutdown()
+
+    def test_now_monotone(self):
+        env = RealEnv()
+        try:
+            a = env.now()
+            time.sleep(0.01)
+            assert env.now() > a
+        finally:
+            env.shutdown()

@@ -1,0 +1,192 @@
+"""Tests for extension features: passive connections, jobid sampler,
+CSV rollover, per-job user-level daemons (§IV-G)."""
+
+import pytest
+
+import repro.plugins  # noqa: F401
+from repro.cluster import JobSpec, Scheduler, chama
+from repro.core import Ldmsd, SimEnv
+from repro.core.metric import MetricType
+from repro.sim.engine import Engine
+from repro.transport.simfabric import SimFabric, SimTransport
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture
+def world():
+    eng = Engine()
+    return eng, SimEnv(eng), SimFabric(eng)
+
+
+def daemon(world, name, xprt="rdma"):
+    eng, env, fabric = world
+    return Ldmsd(name, env=env,
+                 transports={xprt: SimTransport(fabric, xprt, node_id=name)})
+
+
+class TestPassiveConnections:
+    """§IV-B asymmetric network access: the sampler dials out."""
+
+    def _passive_pair(self, world):
+        eng, env, fabric = world
+        agg = daemon(world, "agg")
+        agg.listen("rdma", "agg:411")
+        st = agg.add_store("memory")
+        agg.add_producer("node0", "rdma", interval=1.0, passive=True)
+        samp = daemon(world, "node0")
+        samp.load_sampler("synthetic", instance="node0/syn",
+                          component_id=1, num_metrics=4)
+        samp.start_sampler("node0/syn", interval=1.0)
+        samp.advertise("rdma", "agg:411")
+        return agg, samp, st
+
+    def test_passive_collection_flows(self, world):
+        eng, _, _ = world
+        agg, samp, st = self._passive_pair(world)
+        eng.run(until=10.0)
+        assert len(st.rows) >= 7
+        assert st.rows[-1].set_name == "node0/syn"
+        assert agg.producers["node0"].connected
+
+    def test_passive_requires_no_addr(self, world):
+        agg = daemon(world, "agg")
+        agg.add_producer("p", "rdma", interval=1.0, passive=True)  # ok
+        with pytest.raises(ConfigError):
+            agg.add_producer("q", "rdma", interval=1.0)  # active, no addr
+
+    def test_unknown_advertiser_ignored(self, world):
+        eng, _, _ = world
+        agg = daemon(world, "agg")
+        agg.listen("rdma", "agg:411")
+        st = agg.add_store("memory")
+        samp = daemon(world, "mystery")
+        samp.load_sampler("synthetic", instance="m/s", component_id=1)
+        samp.start_sampler("m/s", interval=1.0)
+        samp.advertise("rdma", "agg:411")  # no producer named "mystery"
+        eng.run(until=5.0)
+        assert st.rows == []
+
+    def test_readvertise_after_aggregator_drop(self, world):
+        eng, _, _ = world
+        agg, samp, st = self._passive_pair(world)
+        eng.run(until=5.0)
+        n_before = len(st.rows)
+        # Aggregator drops the connection (e.g. restart of its endpoint).
+        agg.producers["node0"].endpoint.close()
+        eng.run(until=15.0)
+        assert len(st.rows) > n_before + 3  # sampler re-advertised
+
+    def test_passive_does_not_dial(self, world):
+        eng, env, fabric = world
+        agg = daemon(world, "agg")
+        agg.add_producer("node0", "rdma", interval=1.0, passive=True)
+        eng.run(until=5.0)
+        assert not agg.producers["node0"].connected
+        assert fabric.total_messages == 0
+
+
+class TestJobidSampler:
+    def test_jobid_tracks_scheduler(self):
+        m = chama(n_nodes=8)
+        dep = m.deploy_ldms(interval=1.0, plugins=[("jobid", {})],
+                            fanin=8)
+        sched = Scheduler(m)
+        job = sched.submit(JobSpec("tagged", n_nodes=4, duration=10.0),
+                           delay=3.0)
+        m.run(until=20.0)
+        ts, ids = dep.store.series("job_id", set_name="n0/jobid")
+        assert 0 in ids  # idle before/after
+        assert job.job_id in ids  # while running
+        # The id appears only within the job's lifetime.
+        inside = ids[(ts >= job.start_time) & (ts < job.end_time)]
+        assert (inside == job.job_id).all()
+
+    def test_jobid_zero_without_file(self, world):
+        d = daemon(world, "n0")  # RealFS has no /var/run/ldms_jobid
+        from repro.nodefs.fs import SynthFS
+
+        d.fs = SynthFS()
+        p = d.load_sampler("jobid", instance="n0/jobid", component_id=1)
+        p.sample(0.0)
+        assert p.set.get("job_id") == 0
+
+
+class TestCsvRollover:
+    def _rec(self, t):
+        from repro.core.store import StoreRecord
+
+        return StoreRecord(t, "n0", "n0/s", "s", ("a",), (1,), (int(t),))
+
+    def test_rolls_at_size(self, tmp_path):
+        from repro.plugins.stores.csv_store import CsvStore
+
+        st = CsvStore()
+        st.config(path=str(tmp_path), buffer_lines=1, roll_bytes=200)
+        for k in range(40):
+            st.submit(self._rec(float(k)))
+        st.close()
+        rolled = sorted(p.name for p in tmp_path.glob("s.csv.*"))
+        assert len(rolled) >= 2
+        # Every rolled file stays near the limit.
+        for p in tmp_path.glob("s.csv.*"):
+            assert p.stat().st_size <= 300
+        # Each fresh file re-writes the header.
+        assert (tmp_path / "s.csv.2").read_text().startswith("Time,")
+
+    def test_no_roll_by_default(self, tmp_path):
+        from repro.plugins.stores.csv_store import CsvStore
+
+        st = CsvStore()
+        st.config(path=str(tmp_path), buffer_lines=1)
+        for k in range(40):
+            st.submit(self._rec(float(k)))
+        st.close()
+        assert list(tmp_path.glob("s.csv.*")) == []
+
+    def test_rows_survive_rollover_intact(self, tmp_path):
+        from repro.plugins.stores.csv_store import CsvStore
+
+        st = CsvStore()
+        st.config(path=str(tmp_path), buffer_lines=1, roll_bytes=150)
+        for k in range(30):
+            st.submit(self._rec(float(k)))
+        st.close()
+        values = []
+        for p in sorted(tmp_path.glob("s.csv*")):
+            for line in p.read_text().splitlines():
+                if not line.startswith("Time"):
+                    values.append(int(line.rsplit(",", 1)[1]))
+        assert sorted(values) == list(range(30))
+
+
+class TestUserLevelDaemon:
+    """§IV-G: 'Users seeking additional data ... may run another LDMS
+    instance configured to use their specified samplers and a different
+    network port as part of their batch jobs.'"""
+
+    def test_two_daemons_one_node(self, world):
+        eng, env, fabric = world
+        from repro.nodefs.host import HostModel
+
+        host = HostModel("n0", clock=lambda: eng.now)
+        system = Ldmsd("n0-sys", env=env, fs=host.fs,
+                       transports={"rdma": SimTransport(fabric, "rdma")})
+        system.load_sampler("meminfo", instance="n0/meminfo", component_id=1)
+        system.start_sampler("n0/meminfo", interval=10.0)
+        system.listen("rdma", "n0:411")
+
+        user = Ldmsd("n0-user", env=env, fs=host.fs,
+                     transports={"rdma": SimTransport(fabric, "rdma")})
+        user.load_sampler("loadavg", instance="job42/loadavg",
+                          component_id=1)
+        user.start_sampler("job42/loadavg", interval=0.1)  # high fidelity
+        user.listen("rdma", "n0:412")  # different port
+
+        agg = daemon(world, "agg")
+        st_sys = agg.add_store("memory", schema="meminfo")
+        st_user = agg.add_store("memory", schema="loadavg")
+        agg.add_producer("sys", "rdma", "n0:411", interval=10.0)
+        agg.add_producer("user", "rdma", "n0:412", interval=0.1)
+        eng.run(until=30.0)
+        assert len(st_user.rows) > 5 * len(st_sys.rows)
+        assert {r.schema for r in st_user.rows} == {"loadavg"}

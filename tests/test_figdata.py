@@ -1,0 +1,81 @@
+"""Tests for the figure-data exporters."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figdata import (
+    write_histograms,
+    write_job_profile,
+    write_node_time_grid,
+    write_torus_snapshot,
+)
+from repro.util.stats import Histogram
+
+
+class TestHistogramExport:
+    def test_rows_and_header(self, tmp_path):
+        h1 = Histogram.from_samples([100.0, 100.0, 300.0], 95, 500, nbins=10)
+        h2 = Histogram.from_samples([100.0], 95, 500, nbins=10)
+        path = tmp_path / "fig5.csv"
+        n = write_histograms(str(path), {"NM": h1, "HM": h2})
+        lines = path.read_text().splitlines()
+        assert lines[0] == "bin_center_us,NM,HM"
+        assert len(lines) == n + 1
+        # Total counts are preserved in the export.
+        total_nm = sum(int(l.split(",")[1]) for l in lines[1:])
+        assert total_nm == h1.total
+
+    def test_mismatched_bins_rejected(self, tmp_path):
+        h1 = Histogram.from_samples([1.0], 0, 10, nbins=5)
+        h2 = Histogram.from_samples([1.0], 0, 10, nbins=7)
+        with pytest.raises(ValueError):
+            write_histograms(str(tmp_path / "x.csv"), {"a": h1, "b": h2})
+
+
+class TestGridExport:
+    def test_threshold_applied(self, tmp_path):
+        times = np.array([60.0, 120.0])
+        grid = np.array([[0.5, 30.0], [2.0, np.nan]])
+        path = tmp_path / "fig9.csv"
+        n = write_node_time_grid(str(path), times, grid, threshold=1.0,
+                                 value_name="stall_pct")
+        assert n == 2  # 30.0 and 2.0 survive
+        text = path.read_text()
+        assert "time_s,node,stall_pct" in text
+        assert "60.0,1,30.000" in text
+        assert "120.0,0,2.000" in text
+
+    def test_full_experiment_roundtrip(self, tmp_path):
+        from repro.network.torus import GeminiTorus
+        from repro.sim.fleet import HsnFleetTrace
+
+        torus = GeminiTorus(dims=(4, 4, 4))
+        tr = HsnFleetTrace(torus, sample_interval=60.0)
+        tr.add_flow_window(0.0, 300.0, 0, 32, 5e9)
+        res = tr.run(300.0, directions=("X+",))
+        n = write_node_time_grid(str(tmp_path / "grid.csv"), res.times,
+                                 res.node_view("X+"))
+        assert n > 0
+
+
+class TestSnapshotExport:
+    def test_rows(self, tmp_path):
+        coords = np.array([[0, 0, 0], [1, 2, 3]])
+        values = np.array([0.2, 55.0])
+        n = write_torus_snapshot(str(tmp_path / "snap.csv"), coords, values)
+        assert n == 1
+        assert "1,2,3,55.000" in (tmp_path / "snap.csv").read_text()
+
+
+class TestProfileExport:
+    def test_fig12_export(self, tmp_path):
+        from repro.experiments.fig12_oom_profile import run
+
+        res = run(job_nodes=8, machine_nodes=10, interval=10.0)
+        path = tmp_path / "fig12.csv"
+        n = write_job_profile(str(path), res.profile)
+        assert n > 0
+        lines = path.read_text().splitlines()
+        assert lines[0] == "time_s,node,value,in_job"
+        in_job_flags = {line.rsplit(",", 1)[1] for line in lines[1:]}
+        assert in_job_flags == {"0", "1"}  # both margins and job window

@@ -1,0 +1,89 @@
+"""Tests for counter-to-rate conversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.rates import deltas, rates, resample
+
+
+class TestDeltas:
+    def test_simple(self):
+        t, d = deltas([0.0, 1.0, 2.0], [10, 15, 25])
+        assert list(t) == [1.0, 2.0]
+        assert list(d) == [5.0, 10.0]
+
+    def test_empty_and_single(self):
+        t, d = deltas([], [])
+        assert t.size == 0
+        t, d = deltas([1.0], [5.0])
+        assert t.size == 0
+
+    def test_wrap_u8(self):
+        # 250 -> 5 with 8-bit counter: delta = 11.
+        t, d = deltas([0.0, 1.0], [250, 5], counter_bits=8)
+        assert d[0] == pytest.approx(11.0)
+
+    def test_reset_detected_as_nan(self):
+        # A u64 counter dropping from huge to small is a node reboot,
+        # not a wrap (the wrapped delta would be astronomically large).
+        t, d = deltas([0.0, 1.0], [2**50, 100], counter_bits=64)
+        assert np.isnan(d[0])
+
+    def test_gauge_mode_allows_negatives(self):
+        t, d = deltas([0.0, 1.0], [50.0, 30.0], counter_bits=None)
+        assert d[0] == -20.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            deltas([0.0, 1.0], [1.0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 2**40), min_size=2, max_size=30))
+    def test_monotone_counters_roundtrip(self, increments):
+        counts = np.cumsum(np.abs(increments))
+        t = np.arange(len(counts), dtype=float)
+        _, d = deltas(t, counts)
+        assert np.allclose(d, np.diff(counts))
+
+
+class TestRates:
+    def test_uses_actual_dt(self):
+        # Irregular sampling (a bypassed interval).
+        t, r = rates([0.0, 1.0, 3.0], [0, 100, 500])
+        assert r[0] == pytest.approx(100.0)
+        assert r[1] == pytest.approx(200.0)  # 400 over 2 s
+
+    def test_zero_dt_is_nan(self):
+        t, r = rates([0.0, 0.0], [0, 5])
+        assert np.isnan(r[0])
+
+
+class TestResample:
+    def test_locf(self):
+        out = resample([1.0, 3.0], [10.0, 30.0], [0.0, 1.5, 2.9, 3.5])
+        assert np.isnan(out[0])
+        assert out[1] == 10.0
+        assert out[2] == 10.0
+        assert out[3] == 30.0
+
+    def test_exact_timestamps(self):
+        out = resample([1.0, 2.0], [5.0, 6.0], [1.0, 2.0])
+        assert list(out) == [5.0, 6.0]
+
+    def test_empty_series(self):
+        out = resample([], [], [1.0, 2.0])
+        assert np.isnan(out).all()
+
+    def test_store_integration(self):
+        """Resampling real stored series from a simulated deployment."""
+        import repro.plugins  # noqa: F401
+        from repro.cluster import chama
+
+        m = chama(n_nodes=4)
+        dep = m.deploy_ldms(interval=1.0, plugins=[("loadavg", {})], fanin=4)
+        m.run(until=10.0)
+        ts, vs = dep.store.series("total_procs", set_name="n0/loadavg")
+        grid = np.arange(2.0, 9.0, 0.5)
+        out = resample(ts, vs, grid)
+        assert not np.isnan(out[2:]).any()

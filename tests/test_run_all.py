@@ -1,0 +1,12 @@
+"""Smoke test for the one-shot experiment summary runner."""
+
+from repro.experiments.run_all import main
+
+
+def test_run_all_quick_all_ok(capsys):
+    rows = main(["--quick"])
+    assert len(rows) == 17
+    drift = [r for r in rows if r[-1] != "OK"]
+    assert drift == []
+    out = capsys.readouterr().out
+    assert "17/17 checks match the paper" in out

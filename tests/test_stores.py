@@ -1,0 +1,257 @@
+"""Tests for the store plugins: CSV, flat file, SOS, memory."""
+
+import os
+
+import numpy as np
+import pytest
+
+import repro.plugins  # noqa: F401
+from repro.core.store import StorePolicy, StoreRecord
+from repro.plugins.stores.csv_store import CsvStore
+from repro.plugins.stores.flatfile import FlatFileStore
+from repro.plugins.stores.memstore import MemoryStore
+from repro.plugins.stores.sos import SosReader, SosStore
+from repro.util.errors import ConfigError, StoreError
+
+
+def rec(t=1.0, producer="n0", set_name="n0/mem", schema="mem",
+        names=("a", "b"), comp=(1, 1), values=(10, 20)):
+    return StoreRecord(t, producer, set_name, schema, tuple(names),
+                       tuple(comp), tuple(values))
+
+
+class TestStoreRecord:
+    def test_filtered_projection(self):
+        r = rec(names=("a", "b", "c"), comp=(1, 1, 1), values=(1, 2, 3))
+        f = r.filtered(["a", "c"])
+        assert f.names == ("a", "c")
+        assert f.values == (1, 3)
+
+    def test_filtered_unknown_metric_rejected(self):
+        with pytest.raises(ConfigError):
+            rec().filtered(["zzz"])
+
+
+class TestStorePolicy:
+    def test_schema_match(self):
+        p = StorePolicy(schema="mem")
+        assert p.matches(rec())
+        assert not p.matches(rec(schema="cpu"))
+
+    def test_producer_match(self):
+        p = StorePolicy(producers=frozenset({"n1"}))
+        assert not p.matches(rec())
+        assert p.matches(rec(producer="n1"))
+
+    def test_projection(self):
+        p = StorePolicy(metrics=("b",))
+        out = p.project(rec())
+        assert out.names == ("b",)
+
+
+class TestCsvStore:
+    def _store(self, tmp_path, **cfg):
+        s = CsvStore()
+        s.config(path=str(tmp_path), buffer_lines=1, **cfg)
+        return s
+
+    def test_rows_written(self, tmp_path):
+        s = self._store(tmp_path)
+        s.submit(rec(t=1.0))
+        s.submit(rec(t=2.0, values=(11, 21)))
+        s.close()
+        lines = (tmp_path / "mem.csv").read_text().splitlines()
+        assert lines[0] == "Time,Producer,CompId,a,b"
+        assert lines[1] == "1.000000,n0,1,10,20"
+        assert lines[2].endswith("11,21")
+
+    def test_altheader(self, tmp_path):
+        s = self._store(tmp_path, altheader=True)
+        s.submit(rec())
+        s.close()
+        assert (tmp_path / "mem.HEADER").exists()
+        data = (tmp_path / "mem.csv").read_text()
+        assert not data.startswith("Time")
+
+    def test_schema_split(self, tmp_path):
+        s = self._store(tmp_path)
+        s.submit(rec(schema="mem"))
+        s.submit(rec(schema="cpu", set_name="n0/cpu"))
+        s.close()
+        assert (tmp_path / "mem.csv").exists()
+        assert (tmp_path / "cpu.csv").exists()
+
+    def test_layout_change_rejected(self, tmp_path):
+        s = self._store(tmp_path)
+        s.submit(rec())
+        with pytest.raises(StoreError):
+            s.submit(rec(names=("x", "y")))
+        s.close()
+
+    def test_float_formatting(self, tmp_path):
+        s = self._store(tmp_path)
+        s.submit(rec(values=(1.5, 2.25)))
+        s.close()
+        assert "1.5,2.25" in (tmp_path / "mem.csv").read_text()
+
+    def test_buffering_flush(self, tmp_path):
+        s = CsvStore()
+        s.config(path=str(tmp_path), buffer_lines=100)
+        s.submit(rec())
+        assert (not (tmp_path / "mem.csv").exists()
+                or (tmp_path / "mem.csv").stat().st_size == 0)
+        s.flush()
+        assert (tmp_path / "mem.csv").stat().st_size > 0
+        s.close()
+
+    def test_bytes_written(self, tmp_path):
+        s = self._store(tmp_path)
+        s.submit(rec())
+        s.flush()
+        assert s.bytes_written() == (tmp_path / "mem.csv").stat().st_size
+        s.close()
+
+    def test_missing_path_rejected(self):
+        with pytest.raises(ConfigError):
+            CsvStore().config()
+
+    def test_policy_applied_via_submit(self, tmp_path):
+        s = self._store(tmp_path)
+        s.policy = StorePolicy(schema="other")
+        s.submit(rec())
+        s.close()
+        assert not (tmp_path / "mem.csv").exists()
+        assert s.records_stored == 0
+
+
+class TestFlatFileStore:
+    def test_file_per_metric(self, tmp_path):
+        s = FlatFileStore()
+        s.config(path=str(tmp_path), buffer_lines=1)
+        s.submit(rec())
+        s.close()
+        # Paper: "Active and Cached ... stored in 2 separate files".
+        assert (tmp_path / "mem" / "a").exists()
+        assert (tmp_path / "mem" / "b").exists()
+        line = (tmp_path / "mem" / "a").read_text().splitlines()[0]
+        assert line == "1.000000 1 10"
+
+    def test_appends(self, tmp_path):
+        s = FlatFileStore()
+        s.config(path=str(tmp_path), buffer_lines=1)
+        s.submit(rec(t=1.0))
+        s.submit(rec(t=2.0))
+        s.close()
+        assert len((tmp_path / "mem" / "a").read_text().splitlines()) == 2
+
+    def test_unsafe_names_sanitized(self, tmp_path):
+        s = FlatFileStore()
+        s.config(path=str(tmp_path), buffer_lines=1)
+        s.submit(rec(names=("open#stats.snx11024", "b"),
+                     values=(5, 6)))
+        s.close()
+        assert (tmp_path / "mem" / "open#stats.snx11024").exists()
+
+
+class TestSosStore:
+    def test_roundtrip(self, tmp_path):
+        s = SosStore()
+        s.config(path=str(tmp_path))
+        for k in range(10):
+            s.submit(rec(t=float(k), values=(k, k * 2)))
+        s.close()
+        reader = SosReader(str(tmp_path), "mem")
+        assert len(reader) == 10
+        assert reader.metric_names == ["a", "b"]
+        records = list(reader)
+        assert records[3].values == (3.0, 6.0)
+        assert records[3].component_id == 1
+
+    def test_time_range_query(self, tmp_path):
+        s = SosStore()
+        s.config(path=str(tmp_path))
+        for k in range(100):
+            s.submit(rec(t=float(k)))
+        s.close()
+        reader = SosReader(str(tmp_path), "mem")
+        out = reader.range(10.0, 20.0)
+        assert len(out) == 10
+        assert out[0].timestamp == 10.0
+        assert out[-1].timestamp == 19.0
+
+    def test_layout_change_rejected(self, tmp_path):
+        s = SosStore()
+        s.config(path=str(tmp_path))
+        s.submit(rec())
+        with pytest.raises(StoreError):
+            s.submit(rec(names=("z",), comp=(1,), values=(0,)))
+        s.close()
+
+    def test_bytes_written_positive(self, tmp_path):
+        s = SosStore()
+        s.config(path=str(tmp_path))
+        s.submit(rec())
+        assert s.bytes_written() > 0
+        s.close()
+
+
+class TestMemoryStore:
+    def _filled(self):
+        s = MemoryStore()
+        s.config()
+        for k in range(5):
+            s.submit(rec(t=float(k), producer="n0", set_name="n0/mem",
+                         values=(k, 2 * k)))
+            s.submit(rec(t=float(k), producer="n1", set_name="n1/mem",
+                         values=(10 + k, 20 + k)))
+        return s
+
+    def test_select_by_producer(self):
+        s = self._filled()
+        assert len(s.select(producer="n0")) == 5
+
+    def test_select_by_set_name(self):
+        s = self._filled()
+        assert len(s.select(set_name="n1/mem")) == 5
+
+    def test_select_time_window(self):
+        s = self._filled()
+        assert len(s.select(t0=1.0, t1=3.0)) == 4  # 2 producers x 2 samples
+
+    def test_series(self):
+        s = self._filled()
+        ts, vs = s.series("a", producer="n0")
+        assert list(vs) == [0, 1, 2, 3, 4]
+
+    def test_series_missing_metric_empty(self):
+        s = self._filled()
+        ts, vs = s.series("nope")
+        assert len(ts) == 0
+
+    def test_matrix_by_set_names(self):
+        s = self._filled()
+        times, grid = s.matrix("a", set_names=["n0/mem", "n1/mem"])
+        assert grid.shape == (2, 5)
+        assert grid[1, 0] == 10
+
+    def test_matrix_requires_exactly_one_axis(self):
+        s = self._filled()
+        with pytest.raises(ValueError):
+            s.matrix("a")
+        with pytest.raises(ValueError):
+            s.matrix("a", set_names=["x"], producers=["y"])
+
+    def test_matrix_missing_cells_nan(self):
+        s = MemoryStore()
+        s.config()
+        s.submit(rec(t=1.0, set_name="n0/mem"))
+        s.submit(rec(t=2.0, set_name="n1/mem"))
+        _, grid = s.matrix("a", set_names=["n0/mem", "n1/mem"])
+        assert np.isnan(grid[0, 1]) and np.isnan(grid[1, 0])
+
+    def test_introspection(self):
+        s = self._filled()
+        assert s.producers() == ["n0", "n1"]
+        assert s.schemas() == ["mem"]
+        assert s.set_names() == ["n0/mem", "n1/mem"]
+        assert s.component_ids() == [1]
