@@ -51,6 +51,64 @@ def test_apply_data(benchmark):
     benchmark(mirror.apply_data, data)
 
 
+def test_values_bulk_decode(benchmark):
+    """Whole-row decode of a BW-sized set (the store pipeline path)."""
+    mset = _make_set(194)
+    mset.set_all(list(range(194)), 1.0)
+    out = benchmark(mset.values_tuple)
+    assert len(out) == 194
+
+
+def test_values_array_decode(benchmark):
+    """numpy bulk decode of a homogeneous U64 set (analysis path)."""
+    mset = _make_set(194)
+    mset.set_all(list(range(194)), 1.0)
+    out = benchmark(mset.values_array)
+    assert len(out) == 194 and int(out[5]) == 5
+
+
+def test_store_record_from_set(benchmark):
+    """Building one StoreRecord from a mirrored set (per stored sample)."""
+    from repro.core.store import StoreRecord
+
+    mset = _make_set(194)
+    mset.set_all(list(range(194)), 1.0)
+    rec = benchmark(StoreRecord.from_set, mset, "n0")
+    assert len(rec.values) == 194
+
+
+def test_csv_row_render(benchmark, tmp_path):
+    """Formatting one 194-column CSV row (the store-side hot loop)."""
+    from repro.core.store import StoreRecord
+    from repro.plugins.stores.csv_store import CsvStore
+
+    mset = _make_set(194)
+    mset.set_all(list(range(194)), 1.0)
+    rec = StoreRecord.from_set(mset, "n0")
+    store = CsvStore()
+    store.config(path=str(tmp_path), buffer_lines=1 << 30)
+    store.submit(rec)  # creates the file / compiles the formatters
+    buf = store._buffers[rec.schema]
+
+    def render():
+        store.store(rec)
+        buf.clear()
+
+    benchmark(render)
+    store.close()
+
+
+def test_frame_decoder_stream(benchmark):
+    """Decoding a 64-frame burst through one persistent stream decoder."""
+    payload = bytes(2048)
+    raw = b"".join(
+        wire.encode_frame(wire.MsgType.UPDATE_REPLY, i, payload) for i in range(64)
+    )
+    dec = wire.FrameDecoder()
+    frames = benchmark(dec.feed, raw)
+    assert len(frames) == 64
+
+
 def test_wire_frame_roundtrip(benchmark):
     payload = bytes(2048)
 

@@ -372,8 +372,12 @@ class Producer:
                 self.stats.updates_failed += 1
                 return
             self.stats.updates_completed += 1
+            # Fast-path validation: peek MGN/DGN/consistent straight
+            # from the fetched buffer, so torn or DGN-unchanged fetches
+            # are dropped before any data copy (paper §IV-A: neither
+            # results in a write).
             try:
-                upd.mirror.apply_data(data)
+                dgn, consistent = upd.mirror.peek_data_header(data)
             except SchemaMismatch:
                 # Metadata changed on the producer; refresh it.
                 self.stats.schema_refreshes += 1
@@ -386,13 +390,13 @@ class Producer:
                 self.stats.updates_failed += 1
                 upd.state = SetState.NEW
                 return
-            if not upd.mirror.is_consistent:
+            if not consistent:
                 self.stats.skipped_inconsistent += 1
                 return
-            dgn = upd.mirror.dgn
             if upd.last_dgn is not None and dgn == upd.last_dgn:
                 self.stats.skipped_stale += 1
                 return
+            upd.mirror.apply_data(data)
             upd.last_dgn = dgn
             self.stats.stored += 1
             self.daemon._deliver_to_stores(self, upd.mirror)

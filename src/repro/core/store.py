@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
+from repro.core.metric import MetricType
 from repro.core.metric_set import MetricSet
 from repro.util.errors import ConfigError
 
@@ -31,17 +32,24 @@ class StoreRecord:
     names: tuple[str, ...]
     component_ids: tuple[int, ...]
     values: tuple[float | int, ...]
+    #: Per-column value types (None for hand-built records).  Stores use
+    #: these to compile per-schema row formatters once instead of
+    #: type-dispatching on every value.
+    mtypes: Optional[tuple[MetricType, ...]] = None
 
     @classmethod
     def from_set(cls, mset: MetricSet, producer: str) -> "StoreRecord":
+        # names/component_ids/mtypes are frozen with the schema, so the
+        # per-collection cost is just the timestamp and the bulk decode.
         return cls(
             timestamp=mset.timestamp,
             producer=producer,
             set_name=mset.name,
             schema=mset.schema,
-            names=tuple(d.name for d in mset.descs),
-            component_ids=tuple(d.component_id for d in mset.descs),
-            values=tuple(mset.values()),
+            names=mset._names,
+            component_ids=mset._comp_ids,
+            values=mset.values_tuple(),
+            mtypes=mset.metric_types(),
         )
 
     def filtered(self, metric_names: Iterable[str]) -> "StoreRecord":
@@ -59,6 +67,8 @@ class StoreRecord:
             names=tuple(self.names[i] for i in idx),
             component_ids=tuple(self.component_ids[i] for i in idx),
             values=tuple(self.values[i] for i in idx),
+            mtypes=(tuple(self.mtypes[i] for i in idx)
+                    if self.mtypes is not None else None),
         )
 
 

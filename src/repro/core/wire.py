@@ -45,7 +45,9 @@ __all__ = [
 ]
 
 _HDR_FMT = "<IBQ"
-_HDR_SIZE = struct.calcsize(_HDR_FMT)
+_HDR_STRUCT = struct.Struct(_HDR_FMT)
+_HDR_SIZE = _HDR_STRUCT.size
+_LEN_STRUCT = struct.Struct("<I")
 
 E_OK = 0
 E_NOENT = 2  # set not found
@@ -73,14 +75,18 @@ class Frame:
 
 
 def encode_frame(msg_type: int, request_id: int, payload: bytes = b"") -> bytes:
-    body = struct.pack(_HDR_FMT, _HDR_SIZE - 4 + len(payload), msg_type, request_id)
+    body = _HDR_STRUCT.pack(_HDR_SIZE - 4 + len(payload), msg_type, request_id)
     return body + payload
 
 
 class FrameDecoder:
     """Incremental frame decoder for stream transports.
 
-    Feed arbitrary byte chunks; complete frames pop out.
+    Feed arbitrary byte chunks; complete frames pop out.  Decoding is
+    cursor-based: complete frames advance a read offset into the buffer
+    and compaction is amortized (the consumed prefix is only dropped
+    once it is both large and the majority of the buffer), instead of
+    recompacting the entire remainder once per frame.
 
     >>> dec = FrameDecoder()
     >>> frames = dec.feed(encode_frame(MsgType.DIR_REQ, 7))
@@ -88,33 +94,58 @@ class FrameDecoder:
     True
     """
 
+    #: Consumed-prefix size below which compaction is never worth it.
+    _COMPACT_MIN = 4096
+
     def __init__(self) -> None:
         self._buf = bytearray()
+        self._pos = 0
 
     def feed(self, chunk: bytes) -> list[Frame]:
-        self._buf.extend(chunk)
+        buf = self._buf
+        buf += chunk
+        pos = self._pos
+        end = len(buf)
         frames: list[Frame] = []
-        while True:
-            if len(self._buf) < 4:
-                break
-            (flen,) = struct.unpack_from("<I", self._buf, 0)
-            if flen < _HDR_SIZE - 4:
-                raise ReproError(f"corrupt frame length {flen}")
-            if len(self._buf) < 4 + flen:
-                break
-            _, mtype, rid = struct.unpack_from(_HDR_FMT, self._buf, 0)
-            payload = bytes(self._buf[_HDR_SIZE : 4 + flen])
-            del self._buf[: 4 + flen]
-            frames.append(Frame(mtype, rid, payload))
+        mv = memoryview(buf)
+        try:
+            while end - pos >= 4:
+                (flen,) = _LEN_STRUCT.unpack_from(buf, pos)
+                if flen < _HDR_SIZE - 4:
+                    raise ReproError(f"corrupt frame length {flen}")
+                if end - pos < 4 + flen:
+                    break
+                _, mtype, rid = _HDR_STRUCT.unpack_from(buf, pos)
+                payload = bytes(mv[pos + _HDR_SIZE : pos + 4 + flen])
+                pos += 4 + flen
+                frames.append(Frame(mtype, rid, payload))
+        finally:
+            mv.release()
+        if pos == end:
+            buf.clear()
+            pos = 0
+        elif pos >= self._COMPACT_MIN and pos * 2 >= end:
+            del buf[:pos]
+            pos = 0
+        self._pos = pos
         return frames
 
 
 def decode_frame(raw: bytes) -> Frame:
-    """Decode exactly one frame from a complete datagram."""
-    frames = FrameDecoder().feed(raw)
-    if len(frames) != 1:
-        raise ReproError(f"expected exactly one frame, got {len(frames)}")
-    return frames[0]
+    """Decode exactly one frame from a complete datagram.
+
+    Decodes directly from the buffer — no intermediate decoder state.
+    """
+    if len(raw) < _HDR_SIZE:
+        raise ReproError(f"expected exactly one frame, got a {len(raw)}-byte fragment")
+    flen, mtype, rid = _HDR_STRUCT.unpack_from(raw, 0)
+    if flen < _HDR_SIZE - 4:
+        raise ReproError(f"corrupt frame length {flen}")
+    if 4 + flen != len(raw):
+        raise ReproError(
+            f"expected exactly one {4 + flen}-byte frame, got {len(raw)} bytes"
+        )
+    return Frame(mtype, rid, bytes(raw[_HDR_SIZE:]))
 
 
 # ---------------------------------------------------------------------------

@@ -44,22 +44,28 @@ class GpcdrSampler(SamplerPlugin):
     def do_sample(self, now: float) -> None:
         data = parse_gpcdr(self.daemon.fs.read(self.path))
         ts = float(data.get("timestamp", now))
-        dt = ts - self._prev_ts if self._prev is not None else 0.0
+        prev = self._prev
+        dt = ts - self._prev_ts if prev is not None else 0.0
+        get = data.get
+        # Values accumulate in metric creation order (per direction: the
+        # raw U64s then the derived F64s) for one whole-row write.
+        vals: list[float | int] = []
         for d in GEMINI_DIRECTIONS:
             for raw in RAW:
-                self.set.set_value(f"{raw}_{d}", int(data.get(f"{raw}_{d}", 0)))
-            if self._prev is not None and dt > 0:
-                d_traffic = data.get(f"traffic_{d}", 0) - self._prev.get(f"traffic_{d}", 0)
-                d_packets = data.get(f"packets_{d}", 0) - self._prev.get(f"packets_{d}", 0)
-                d_stall_ns = data.get(f"stalled_{d}", 0) - self._prev.get(f"stalled_{d}", 0)
-                speed = max(float(data.get(f"linkspeed_{d}", 0)), 1.0)
+                vals.append(int(get(f"{raw}_{d}", 0)))
+            if prev is not None and dt > 0:
+                d_traffic = get(f"traffic_{d}", 0) - prev.get(f"traffic_{d}", 0)
+                d_packets = get(f"packets_{d}", 0) - prev.get(f"packets_{d}", 0)
+                d_stall_ns = get(f"stalled_{d}", 0) - prev.get(f"stalled_{d}", 0)
+                speed = max(float(get(f"linkspeed_{d}", 0)), 1.0)
                 pct_stall = min(100.0 * (d_stall_ns / 1e9) / dt, 100.0)
                 pct_bw = min(100.0 * (d_traffic / dt) / speed, 100.0)
                 avg_pkt = d_traffic / d_packets if d_packets > 0 else 0.0
             else:
                 pct_stall = pct_bw = avg_pkt = 0.0
-            self.set.set_value(f"percent_stalled_{d}", max(pct_stall, 0.0))
-            self.set.set_value(f"percent_bw_{d}", max(pct_bw, 0.0))
-            self.set.set_value(f"avg_packet_size_{d}", max(avg_pkt, 0.0))
+            vals.append(max(pct_stall, 0.0))
+            vals.append(max(pct_bw, 0.0))
+            vals.append(max(avg_pkt, 0.0))
+        self.set.set_values(vals)
         self._prev = {k: float(v) for k, v in data.items()}
         self._prev_ts = ts

@@ -58,13 +58,19 @@ class InfinibandSampler(SamplerPlugin):
             for ctr in COUNTERS
         ]
         self.set = self.create_set(instance, "infiniband", metrics)
+        # Counter-file paths in metric-index order, resolved once.
+        self._paths = tuple(
+            f"{self.root}/{dev}/ports/{self.port}/counters/{ctr}"
+            for dev in self.devices
+            for ctr in COUNTERS
+        )
 
     def do_sample(self, now: float) -> None:
-        for dev in self.devices:
-            for ctr in COUNTERS:
-                path = f"{self.root}/{dev}/ports/{self.port}/counters/{ctr}"
-                try:
-                    value = parse_counter_file(self.daemon.fs.read(path))
-                except (FileNotFoundError, ValueError):
-                    value = 0
-                self.set.set_value(f"{ctr}#{dev}", value)
+        read = self.daemon.fs.read
+        vals = []
+        for path in self._paths:
+            try:
+                vals.append(parse_counter_file(read(path)))
+            except (FileNotFoundError, ValueError):
+                vals.append(0)
+        self.set.set_values(vals)

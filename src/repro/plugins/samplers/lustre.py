@@ -74,17 +74,23 @@ class LustreSampler(SamplerPlugin):
             self._dirs = {m: by_fs[m] for m in mounts}
         if not self._dirs:
             raise ConfigError("lustre: no mounts found")
+        self._mounts = tuple(sorted(self._dirs))
         metrics = [
             (f"{event}#stats.{fsname}", MetricType.U64)
-            for fsname in sorted(self._dirs)
+            for fsname in self._mounts
             for event in self.events
         ]
         self.set = self.create_set(instance, "lustre", metrics)
+        # Stats-file paths in mount (= metric-index) order, resolved once.
+        self._stat_paths = tuple(
+            f"{self.root}/{self._dirs[m]}/stats" for m in self._mounts
+        )
 
     def do_sample(self, now: float) -> None:
-        for fsname in sorted(self._dirs):
-            stats = parse_lustre_stats(
-                self.daemon.fs.read(f"{self.root}/{self._dirs[fsname]}/stats")
-            )
-            for event in self.events:
-                self.set.set_value(f"{event}#stats.{fsname}", stats.get(event, 0))
+        read = self.daemon.fs.read
+        vals: list[int] = []
+        for path in self._stat_paths:
+            stats = parse_lustre_stats(read(path))
+            get = stats.get
+            vals.extend(get(event, 0) for event in self.events)
+        self.set.set_values(vals)

@@ -49,8 +49,10 @@ class MeminfoSampler(SamplerPlugin):
         self.set = self.create_set(
             instance, "meminfo", [(m, MetricType.U64) for m in self.metrics]
         )
+        # Layout is frozen now: self.metrics is already in metric-index
+        # order, so sampling can use the compiled whole-row setter.
 
     def do_sample(self, now: float) -> None:
         data = parse_meminfo(self.daemon.fs.read(self.path))
-        for m in self.metrics:
-            self.set.set_value(m, data.get(m, 0))
+        get = data.get
+        self.set.set_values([get(m, 0) for m in self.metrics])

@@ -13,12 +13,24 @@ file"); otherwise the header is the first row of the data file.
 from __future__ import annotations
 
 import os
-from typing import TextIO
+from typing import Callable, Optional, TextIO
 
+from repro.core.metric import MetricType
 from repro.core.store import StorePlugin, StoreRecord, register_store
 from repro.util.errors import ConfigError, StoreError
 
 __all__ = ["CsvStore"]
+
+# "%.6g" % v renders identically to f"{v:.6g}" (same C 'g' conversion);
+# binding __mod__ once gives a per-column callable with no per-value
+# type dispatch.
+_FLOAT_FMT: Callable[[float], str] = "%.6g".__mod__
+_FLOAT_TYPES = (MetricType.F32, MetricType.F64)
+
+
+def _compile_formatters(mtypes: tuple[MetricType, ...]) -> tuple[Callable, ...]:
+    """One formatter per column, chosen once from the schema's types."""
+    return tuple(_FLOAT_FMT if t in _FLOAT_TYPES else str for t in mtypes)
 
 
 @register_store("store_csv")
@@ -56,6 +68,7 @@ class CsvStore(StorePlugin):
         self._files: dict[str, TextIO] = {}
         self._headers: dict[str, tuple[str, ...]] = {}
         self._buffers: dict[str, list[str]] = {}
+        self._formatters: dict[str, Optional[tuple[Callable, ...]]] = {}
         self._roll_counts: dict[str, int] = {}
         self._bytes = 0
 
@@ -66,6 +79,10 @@ class CsvStore(StorePlugin):
             self._files[schema] = open(fpath, "a", encoding="utf-8")
             self._headers[schema] = record.names
             self._buffers[schema] = []
+            self._formatters[schema] = (
+                _compile_formatters(record.mtypes)
+                if record.mtypes is not None else None
+            )
             header = "Time,Producer,CompId," + ",".join(record.names) + "\n"
             if self.altheader:
                 with open(os.path.join(self.path, f"{schema}.HEADER"), "w",
@@ -83,11 +100,12 @@ class CsvStore(StorePlugin):
     def store(self, record: StoreRecord) -> None:
         schema = self._handle(record)
         comp_id = record.component_ids[0] if record.component_ids else 0
-        row = (
-            f"{record.timestamp:.6f},{record.producer},{comp_id},"
-            + ",".join(self._fmt(v) for v in record.values)
-            + "\n"
-        )
+        fmts = self._formatters[schema] if record.mtypes is not None else None
+        if fmts is not None:
+            body = ",".join([f(v) for f, v in zip(fmts, record.values)])
+        else:
+            body = ",".join([self._fmt(v) for v in record.values])
+        row = f"{record.timestamp:.6f},{record.producer},{comp_id},{body}\n"
         buf = self._buffers[schema]
         buf.append(row)
         if len(buf) >= self.buffer_lines:
