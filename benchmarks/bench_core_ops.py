@@ -142,6 +142,49 @@ def test_meminfo_parse(benchmark):
     assert out["MemTotal"] > 0
 
 
+def test_pipeline_unit_bare(benchmark, tmp_path):
+    """Full sample→transport→store traversal, telemetry disabled.
+
+    The composed PR-1 fast path: one sampling transaction, one
+    one-sided read service + mirror install, one store record build and
+    CSV row render.  Baseline for the instrumented variant below.
+    """
+    from pipeline_unit import build_unit
+
+    unit, close = build_unit(tmp_path, instrumented=False)
+    benchmark(unit)
+    close()
+
+
+def test_pipeline_unit_instrumented(benchmark, tmp_path):
+    """Same traversal with live telemetry: the hooks the daemon runs
+    per stored sample (stage histograms, counters, pipeline trace).
+    Must stay within 5% of the bare variant — asserted by
+    ``check_obs_overhead.py`` in CI."""
+    from pipeline_unit import build_unit
+
+    unit, close = build_unit(tmp_path, instrumented=True)
+    benchmark(unit)
+    close()
+
+
+def test_obs_histogram_observe(benchmark):
+    """The single hottest telemetry call: one histogram observation."""
+    from repro.obs import Telemetry
+
+    h = Telemetry(enabled=True).histogram("bench")
+    benchmark(h.observe, 12.5e-6)
+    assert h.count > 0
+
+
+def test_obs_disabled_noop(benchmark):
+    """The disabled-registry null instrument (cost of leaving hooks in)."""
+    from repro.obs import Telemetry
+
+    h = Telemetry(enabled=False).histogram("bench")
+    benchmark(h.observe, 12.5e-6)
+
+
 def test_flow_engine_accumulate(benchmark):
     """One integration step over the full 24^3 torus link arrays."""
     from repro.network.torus import GeminiTorus

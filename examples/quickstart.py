@@ -15,6 +15,7 @@ from __future__ import annotations
 import os
 import time
 
+from repro import obs
 from repro.core import Ldmsd
 from repro.nodefs.fs import RealFS
 
@@ -37,7 +38,8 @@ def main() -> None:
     sampler = Ldmsd("node0", fs=fs)
     for plugin, instance in [("meminfo", "node0/meminfo"),
                              ("procstat", "node0/procstat"),
-                             ("loadavg", "node0/loadavg")]:
+                             ("loadavg", "node0/loadavg"),
+                             ("ldmsd_self", "node0/ldmsd_self")]:
         sampler.load_sampler(plugin, instance=instance, component_id=1)
         sampler.start_sampler(instance, interval=1.0)
     listener = sampler.listen("sock", ("127.0.0.1", 0))
@@ -63,6 +65,12 @@ def main() -> None:
         print(f"\n{path} ({len(lines)} lines):")
         for line in lines[:3]:
             print("  " + line.rstrip()[:110])
+
+    # The sampler daemon monitors itself: its ldmsd_self set travelled
+    # the same pull/store pipeline as meminfo.  Render its final state.
+    self_set = sampler.get_set("node0/ldmsd_self")
+    print("\nnode0/ldmsd_self (the daemon's own pipeline health):")
+    print(obs.render(self_set.as_dict()))
 
     aggregator.shutdown()
     sampler.shutdown()

@@ -2,9 +2,12 @@
 
 Mirrors LDMS's ``ldms_ls``: bare invocation prints set names and
 geometry; ``-l`` also performs a lookup + data read and prints current
-metric values.
+metric values; ``-v`` additionally renders ``ldmsd_self`` sets as a
+grouped pipeline-health block (sampling/lookup/update/store latency
+quantiles) instead of a flat value dump.
 
     ldms-ls-repro --host 127.0.0.1 --port 10411 -l
+    ldms-ls-repro --host 127.0.0.1 --port 10411 -v
 """
 
 from __future__ import annotations
@@ -13,6 +16,7 @@ import argparse
 import sys
 import threading
 
+from repro import obs
 from repro.core import wire
 from repro.core.memory import Arena
 from repro.core.metric_set import MetricSet
@@ -76,7 +80,12 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--port", type=int, required=True)
     p.add_argument("-l", "--long", action="store_true",
                    help="also read and print current metric values")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="like -l, and render ldmsd_self sets as a "
+                        "pipeline-health summary")
     args = p.parse_args(argv)
+    if args.verbose:
+        args.long = True
 
     client = _SyncClient(args.host, args.port)
     try:
@@ -106,6 +115,9 @@ def main(argv: list[str] | None = None) -> int:
             mirror.apply_data(data)
             flag = "consistent" if mirror.is_consistent else "INCONSISTENT"
             print(f"  ts={mirror.timestamp:.6f} dgn={mirror.dgn} [{flag}]")
+            if args.verbose and info.schema == obs.SELF_SCHEMA:
+                print(obs.render(mirror.as_dict()))
+                continue
             for name, value in mirror.as_dict().items():
                 print(f"    {name:40s} {value}")
     finally:

@@ -85,6 +85,12 @@ class UpdateStats:
     skipped_busy: int = 0  # previous update still in flight (bypass)
     schema_refreshes: int = 0  # MGN mismatch forced a re-lookup
     stored: int = 0
+    #: When the last update completed (daemon clock) and the cumulative
+    #: issue->completion time in seconds — enough to read a producer row
+    #: as "mean RTT = update_time_total / updates_completed, last seen
+    #: at last_update_ts" without the full histogram dump.
+    last_update_ts: float = 0.0
+    update_time_total: float = 0.0
 
 
 @dataclass
@@ -115,8 +121,18 @@ class Producer:
         self._timer = None
         self._reconnect_handle = None
         self._next_req_id = 1
-        self._pending_lookups: dict[int, str] = {}  # req_id -> set name
+        #: req_id -> (set name, send time) of in-flight lookups
+        self._pending_lookups: dict[int, tuple[str, float]] = {}
         self.stopped = False
+        # Telemetry instruments (shared daemon-wide by name; binding
+        # them here keeps the per-event cost to one attribute access).
+        obs = daemon.obs
+        self._h_lookup_rtt = obs.histogram("lookup.rtt")
+        self._h_update_rtt = obs.histogram("update.rtt")
+        self._c_stale = obs.counter("update.skipped_stale")
+        self._c_torn = obs.counter("update.skipped_inconsistent")
+        self._c_busy = obs.counter("update.skipped_busy")
+        self._c_failed = obs.counter("update.failed")
 
     # ------------------------------------------------------------------
     # connection management
@@ -131,6 +147,7 @@ class Producer:
         if self.endpoint is not None and not self.endpoint.closed:
             self.endpoint.close()
         self.endpoint = endpoint
+        endpoint.obs = self.daemon.obs
         endpoint.on_message = self._on_message_locked
         endpoint.on_close = self._on_close
         self._start_timer()
@@ -215,6 +232,7 @@ class Producer:
                 self._schedule_reconnect()
                 return
             self.endpoint = endpoint
+            endpoint.obs = self.daemon.obs
             endpoint.on_message = self._on_message_locked
             endpoint.on_close = self._on_close
             self._start_timer()
@@ -265,7 +283,7 @@ class Producer:
         upd.state = SetState.LOOKUP_PENDING
         rid = self._next_req_id
         self._next_req_id += 1
-        self._pending_lookups[rid] = set_name
+        self._pending_lookups[rid] = (set_name, self.daemon.env.now())
         self.stats.lookups_sent += 1
         self.endpoint.send(
             wire.encode_frame(wire.MsgType.LOOKUP_REQ, rid, wire.pack_lookup_req(set_name))
@@ -284,9 +302,11 @@ class Producer:
                     self.updaters[info.name] = UpdaterState(info.name)
                     self._send_lookup(info.name)
         elif frame.msg_type == wire.MsgType.LOOKUP_REPLY:
-            set_name = self._pending_lookups.pop(frame.request_id, None)
-            if set_name is None:
+            pending = self._pending_lookups.pop(frame.request_id, None)
+            if pending is None:
                 return
+            set_name, t_sent = pending
+            self._h_lookup_rtt.observe(self.daemon.env.now() - t_sent)
             status, region_id, meta = wire.unpack_lookup_reply(frame.payload)
             upd = self.updaters.get(set_name)
             if upd is None:
@@ -345,17 +365,22 @@ class Producer:
         if upd.in_flight:
             # Bypass non-reporting target; retry next interval (§IV-E).
             self.stats.skipped_busy += 1
+            self._c_busy.inc()
             return
         endpoint = self.endpoint
         if endpoint is None:
             return
         upd.in_flight = True
         self.stats.updates_issued += 1
+        # One pipeline trace per update transaction; carried through
+        # fetch -> validate -> store flush (None when obs is disabled).
+        trace = self.daemon.tracer.start(self.cfg.name, upd.set_name)
+        t_issue = trace.t_issue if trace is not None else self.daemon.env.now()
 
         def on_data(data: Optional[bytes]) -> None:
             # Completion runs on an update worker.
             self.daemon.worker_pool.submit(
-                lambda: self._complete_update(upd, data),
+                lambda: self._complete_update(upd, data, t_issue, trace),
                 cost=self.daemon.update_cpu_cost,
                 core=self.daemon.core,
                 tag="agg-update",
@@ -363,15 +388,27 @@ class Producer:
 
         endpoint.rdma_read(upd.region_id, on_data)
 
-    def _complete_update(self, upd: UpdaterState, data: Optional[bytes]) -> None:
+    def _complete_update(
+        self, upd: UpdaterState, data: Optional[bytes], t_issue: float, trace=None
+    ) -> None:
         with self.daemon.lock:
+            tracer = self.daemon.tracer
             upd.in_flight = False
             if self.stopped or upd.mirror is None:
+                tracer.finish(trace, "failed")
                 return
+            now = self.daemon.env.now()
+            if trace is not None:
+                trace.t_fetched = now
             if data is None:
                 self.stats.updates_failed += 1
+                self._c_failed.inc()
+                tracer.finish(trace, "failed")
                 return
             self.stats.updates_completed += 1
+            self.stats.last_update_ts = now
+            self.stats.update_time_total += now - t_issue
+            self._h_update_rtt.observe(now - t_issue)
             # Fast-path validation: peek MGN/DGN/consistent straight
             # from the fetched buffer, so torn or DGN-unchanged fetches
             # are dropped before any data copy (paper §IV-A: neither
@@ -382,21 +419,33 @@ class Producer:
                 # Metadata changed on the producer; refresh it.
                 self.stats.schema_refreshes += 1
                 self._send_lookup(upd.set_name)
+                tracer.finish(trace, "schema_refresh")
                 return
             except ValueError:
                 # Malformed fetch (e.g. the producer deleted the set and
                 # the region now reads empty): count as failed, retry via
                 # lookup next tick.
                 self.stats.updates_failed += 1
+                self._c_failed.inc()
                 upd.state = SetState.NEW
+                tracer.finish(trace, "failed")
                 return
+            if trace is not None:
+                trace.t_validated = now
             if not consistent:
                 self.stats.skipped_inconsistent += 1
+                self._c_torn.inc()
+                tracer.finish(trace, "torn")
                 return
             if upd.last_dgn is not None and dgn == upd.last_dgn:
                 self.stats.skipped_stale += 1
+                self._c_stale.inc()
+                tracer.finish(trace, "stale")
                 return
             upd.mirror.apply_data(data)
             upd.last_dgn = dgn
             self.stats.stored += 1
-            self.daemon._deliver_to_stores(self, upd.mirror)
+            if trace is not None:
+                trace.sample_ts = upd.mirror.timestamp
+            self.daemon._deliver_to_stores(self, upd.mirror, trace)
+            tracer.finish(trace, "stored")

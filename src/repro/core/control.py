@@ -26,7 +26,14 @@ Supported commands (attribute syntax is ``key=value``)::
           [producers=<a>,<b>] [metrics=<m1>,<m2>] [plugin args...]
     dir
     stats
+    prof
     quit
+
+``stats`` returns the daemon's operational counters *plus* the full
+telemetry-registry snapshot (counters, gauges, histogram summaries)
+under the ``obs`` key; ``prof`` returns the registry's latency
+histograms with their bucket vectors.  Every handled command is itself
+timed into the ``control.latency`` histogram.
 """
 
 from __future__ import annotations
@@ -90,14 +97,22 @@ class ControlChannel:
     def __init__(self, daemon: "Ldmsd"):
         self.daemon = daemon
         self._loaded: set[str] = set()
+        self._h_latency = daemon.obs.histogram("control.latency")
+        self._c_commands = daemon.obs.counter("control.commands")
+        self._c_errors = daemon.obs.counter("control.errors")
 
     def handle(self, line: str) -> str:
+        t0 = self.daemon.env.now()
+        self._c_commands.inc()
         try:
             verb, attrs = parse_command(line)
             out = self._dispatch(verb, attrs)
             return "0" + (f" {out}" if out else "")
         except ConfigError as exc:
+            self._c_errors.inc()
             return f"E {exc}"
+        finally:
+            self._h_latency.observe(self.daemon.env.now() - t0)
 
     # ------------------------------------------------------------------
     def _dispatch(self, verb: str, attrs: dict[str, str]) -> str:
@@ -239,6 +254,16 @@ class ControlChannel:
 
     def _cmd_stats(self, attrs) -> str:
         return json.dumps(self.daemon.stats())
+
+    def _cmd_prof(self, attrs) -> str:
+        """Histogram dumps: per-stage latency buckets (µs-scale)."""
+        return json.dumps(
+            {
+                "name": self.daemon.name,
+                "histograms": self.daemon.obs.dump_histograms(),
+                "traces": [t.as_dict() for t in self.daemon.tracer.last()],
+            }
+        )
 
     def _cmd_quit(self, attrs) -> str:
         self.daemon.shutdown()

@@ -22,6 +22,7 @@ examples over real TCP) and inside the discrete-event simulator
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable, Optional
 
 from repro.core import wire
@@ -32,6 +33,7 @@ from repro.core.metric import MetricType
 from repro.core.metric_set import MetricSet, SetInfo
 from repro.core.sampler import SamplerPlugin, sampler_registry
 from repro.core.store import StorePlugin, StorePolicy, StoreRecord, store_registry
+from repro.obs import Telemetry, Tracer
 from repro.sim.resources import CpuCore
 from repro.transport.base import Endpoint, Listener, Transport
 from repro.util.errors import ConfigError
@@ -79,6 +81,11 @@ class Ldmsd:
     core:
         Simulated CPU core that this daemon's work is charged to (noise
         accounting); None outside the simulator.
+    obs_enabled:
+        Whether the daemon's self-instrumentation registry
+        (:class:`repro.obs.Telemetry`) and pipeline tracer are live.
+        Disabled, every hook degrades to a shared no-op instrument and
+        the update path allocates no trace objects.
     """
 
     def __init__(
@@ -92,6 +99,7 @@ class Ldmsd:
         flush_threads: int = 2,
         core: Optional[CpuCore] = None,
         fs=None,
+        obs_enabled: bool = True,
     ):
         self.name = name
         self._own_env = env is None
@@ -115,6 +123,22 @@ class Ldmsd:
         self.fs = fs
         self.arena = Arena(parse_size(mem))
         self.lock = env.make_lock()
+
+        #: Self-instrumentation: the telemetry registry and the
+        #: per-update-transaction tracer.  Hot-path instruments are
+        #: bound once here so sampling/update/store code pays one
+        #: attribute access per event, not a registry lookup.
+        self.obs = Telemetry(enabled=obs_enabled)
+        self.tracer = Tracer(env.now, enabled=obs_enabled)
+        self._h_sample = self.obs.histogram("sample.duration")
+        self._h_store_flush = self.obs.histogram("store.flush")
+        self._h_sample_to_store = self.obs.histogram("pipeline.sample_to_store")
+        self._c_samples = self.obs.counter("sampler.samples")
+        self._c_store_errors = self.obs.counter("store.errors")
+        self._c_store_no_match = self.obs.counter("store.no_match")
+        self._c_dir_req = self.obs.counter("serve.dir_req")
+        self._c_lookup_req = self.obs.counter("serve.lookup_req")
+        self._c_update_req = self.obs.counter("serve.update_req")
 
         self.worker_pool = env.make_pool(f"{name}/worker", workers)
         self.conn_pool = env.make_pool(f"{name}/conn", conn_threads)
@@ -252,11 +276,21 @@ class Ldmsd:
 
     def _begin_sample(self, plugin: SamplerPlugin) -> None:
         with self.lock:
+            plugin._sample_t0 = self.env.now()
             plugin.begin_sample()
 
     def _finish_sample(self, plugin: SamplerPlugin) -> None:
         with self.lock:
             plugin.finish_sample(self.env.now())
+            # Sample duration: the begin->finish busy window.  Under the
+            # DES this is the declared sample cost; under RealEnv it is
+            # the measured wall time of do_sample.
+            end = self.env.now()
+            duration = end - plugin._sample_t0
+            plugin.last_sample_ts = end
+            plugin.sample_time_total += duration
+            self._h_sample.observe(duration)
+            self._c_samples.inc()
 
     # ------------------------------------------------------------------
     # serving (any daemon can be pulled from)
@@ -278,6 +312,7 @@ class Ldmsd:
             ) from None
 
     def _on_peer_connect(self, endpoint: Endpoint) -> None:
+        endpoint.obs = self.obs
         endpoint.on_message = lambda raw: self._serve(endpoint, raw)
         self._served_endpoints.append(endpoint)
 
@@ -295,6 +330,7 @@ class Ldmsd:
                     prod.attach(endpoint)
                 return
             if frame.msg_type == wire.MsgType.DIR_REQ:
+                self._c_dir_req.inc()
                 endpoint.send(
                     wire.encode_frame(
                         wire.MsgType.DIR_REPLY,
@@ -303,6 +339,7 @@ class Ldmsd:
                     )
                 )
             elif frame.msg_type == wire.MsgType.LOOKUP_REQ:
+                self._c_lookup_req.inc()
                 set_name = wire.unpack_lookup_req(frame.payload)
                 mset = self._sets.get(set_name)
                 if mset is None:
@@ -322,6 +359,7 @@ class Ldmsd:
             elif frame.msg_type == wire.MsgType.UPDATE_REQ:
                 # Message-based pull path (kept for completeness; the
                 # aggregator normally uses one-sided reads).
+                self._c_update_req.inc()
                 region_id = wire.unpack_update_req(frame.payload)
                 name = next(
                     (n for n, r in self._region_ids.items() if r == region_id), None
@@ -421,6 +459,7 @@ class Ldmsd:
                 if endpoint is None:
                     self.env.call_later(reconnect_interval, schedule)
                     return
+                endpoint.obs = self.obs
                 endpoint.on_message = lambda raw: self._serve(endpoint, raw)
                 endpoint.on_close = lambda: (
                     self._shutdown or self.env.call_later(reconnect_interval,
@@ -485,23 +524,59 @@ class Ldmsd:
             self.stores.append(store)
             return store
 
-    def _deliver_to_stores(self, producer: Producer, mirror: MetricSet) -> None:
+    def _deliver_to_stores(
+        self, producer: Producer, mirror: MetricSet, trace=None
+    ) -> None:
         if not self.stores:
             return
         record = StoreRecord.from_set(mirror, producer.cfg.name)
         self.records_delivered += 1
+        now = self.env.now()
+        if trace is not None:
+            trace.t_store_submit = now
+            trace.sample_ts = record.timestamp
+        # End-to-end pipeline latency: sampler transaction close (the
+        # timestamp carried in the data chunk) -> store hand-off here.
+        self._h_sample_to_store.observe(max(now - record.timestamp, 0.0))
         cost = STORE_BASE_COST + STORE_PER_METRIC_COST * len(record.values)
+        matched = False
         for store in self.stores:
             if store.wants(record):
+                matched = True
                 self.flush_pool.submit(
-                    lambda s=store: s.submit(record), cost=cost, core=self.core, tag="store"
+                    lambda s=store: self._flush_record(s, record, now, trace),
+                    cost=cost, core=self.core, tag="store",
                 )
+        if not matched:
+            self._c_store_no_match.inc()
+
+    def _flush_record(self, store: StorePlugin, record: StoreRecord,
+                      t_submit: float, trace) -> None:
+        """Flush-pool task: write one record, time it, survive failures."""
+        try:
+            store.submit(record)
+        except Exception:
+            # The store already counted the failure (records_failed);
+            # keep the flush worker alive and surface it in telemetry.
+            self._c_store_errors.inc()
+            return
+        end = self.env.now()
+        self._h_store_flush.observe(end - t_submit)
+        if trace is not None:
+            trace.t_store_done = end
 
     # ------------------------------------------------------------------
     # introspection / shutdown
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """Operational counters and footprint numbers."""
+        """Operational counters, footprint numbers, and the telemetry
+        registry snapshot.
+
+        The returned structure is a deep, detached copy — every leaf is
+        a plain int/float/str built under the daemon lock, so callers
+        can hold, mutate, or serialize it without racing live counters
+        (``vars(p.stats)`` would hand out the live ``__dict__``).
+        """
         with self.lock:
             return {
                 "name": self.name,
@@ -511,13 +586,21 @@ class Ldmsd:
                 "arena_size": self.arena.size,
                 "plugins": len(self._plugins),
                 "producers": {
-                    name: vars(p.stats).copy() for name, p in self.producers.items()
+                    name: dataclasses.asdict(p.stats)
+                    for name, p in self.producers.items()
                 },
                 "records_delivered": self.records_delivered,
                 "stores": [
-                    {"plugin": s.plugin_name, "records": s.records_stored}
+                    {
+                        "plugin": s.plugin_name,
+                        "records": s.records_stored,
+                        "failed": s.records_failed,
+                        "dropped": s.records_dropped,
+                        "bytes_written": s.bytes_written(),
+                    }
                     for s in self.stores
                 ],
+                "obs": self.obs.snapshot(),
             }
 
     def total_set_bytes(self) -> int:

@@ -63,6 +63,13 @@ class SamplerPlugin:
         self.component_id: int = 0
         self._sets: list[MetricSet] = []
         self.samples_taken = 0
+        #: Set by the daemon around each scheduled sampling event:
+        #: when the last sample finished and the cumulative busy time
+        #: (seconds) spent sampling — the per-plugin view of the
+        #: ``sample.duration`` telemetry histogram.
+        self.last_sample_ts = 0.0
+        self.sample_time_total = 0.0
+        self._sample_t0 = 0.0
         self.configured = False
 
     # -- configuration -------------------------------------------------------

@@ -109,6 +109,9 @@ class StorePlugin:
     def __init__(self) -> None:
         self.policy = StorePolicy()
         self.records_stored = 0
+        self.records_failed = 0
+        self.records_dropped = 0
+        self.last_error: Optional[str] = None
         self.configured = False
 
     def config(self, **kwargs) -> None:
@@ -118,10 +121,22 @@ class StorePlugin:
         return self.policy.matches(record)
 
     def submit(self, record: StoreRecord) -> None:
-        """Policy-filter then store."""
+        """Policy-filter then store.
+
+        A record the policy rejects counts as *dropped*; a ``store()``
+        that raises counts as *failed* (and re-raises — the flush worker
+        decides whether the failure is fatal).  Both counters surface in
+        ``Ldmsd.stats()`` next to ``records_stored``.
+        """
         if not self.wants(record):
+            self.records_dropped += 1
             return
-        self.store(self.policy.project(record))
+        try:
+            self.store(self.policy.project(record))
+        except Exception as exc:
+            self.records_failed += 1
+            self.last_error = str(exc)
+            raise
         self.records_stored += 1
 
     def store(self, record: StoreRecord) -> None:

@@ -1,0 +1,42 @@
+"""repro.obs: self-instrumentation of the monitoring pipeline.
+
+The paper's scalability argument rests on LDMS's own overhead being
+visible and bounded (CPU %, memory footprint, fan-in latency — §IV-E,
+§V–§VII).  This package gives every daemon that visibility at runtime:
+
+* :mod:`repro.obs.registry` — per-daemon counters, gauges, and
+  fixed-bucket latency histograms (near-zero cost when disabled);
+* :mod:`repro.obs.trace` — per-update-transaction pipeline traces
+  (fetch → validate → store flush, linked to the sampler fire time via
+  the transaction timestamp);
+* :mod:`repro.obs.selfmetrics` — the ``ldmsd_self`` metric-set schema
+  that exports all of it as a first-class set an aggregator collects
+  over the normal transport.
+
+Surfaces: ``Ldmsd.stats()`` (registry snapshot), the ``stats``/``prof``
+control verbs, ``ldms_ls -v``, and the ``ldmsd_self`` sampler plugin.
+"""
+
+from repro.obs.registry import (
+    DEFAULT_LATENCY_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    Telemetry,
+)
+from repro.obs.selfmetrics import SELF_METRIC_NAMES, SELF_SCHEMA, collect, render
+from repro.obs.trace import PipelineTrace, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Telemetry",
+    "DEFAULT_LATENCY_EDGES",
+    "PipelineTrace",
+    "Tracer",
+    "SELF_SCHEMA",
+    "SELF_METRIC_NAMES",
+    "collect",
+    "render",
+]

@@ -18,6 +18,7 @@ gpcdr      Cray gpcdr HSN metrics (+ derived pcts)       ``gpcdr``
 bw_custom  Blue Waters combined node set (§IV-F)         ``bw_custom``
 jobid      resource-manager job id on the node           ``jobid``
 synthetic  configurable generated metrics (benchmarks)   ``synthetic``
+ldmsd_self the daemon's own pipeline telemetry           ``ldmsd_self``
 ========== ============================================= =================
 """
 
@@ -33,6 +34,7 @@ from repro.plugins.samplers.gpcdr import GpcdrSampler
 from repro.plugins.samplers.bw_custom import BlueWatersSampler
 from repro.plugins.samplers.jobid import JobidSampler
 from repro.plugins.samplers.synthetic import SyntheticSampler
+from repro.plugins.samplers.ldmsd_self import LdmsdSelfSampler
 
 __all__ = [
     "MeminfoSampler",
@@ -47,4 +49,5 @@ __all__ = [
     "BlueWatersSampler",
     "JobidSampler",
     "SyntheticSampler",
+    "LdmsdSelfSampler",
 ]

@@ -127,6 +127,10 @@ def get_transport_profile(name: str) -> TransportProfile:
         raise ConfigError(f"unknown transport {name!r}; know {sorted(PROFILES)}") from None
 
 
+def _noop_inc(n: int = 1) -> None:
+    """Stand-in for a counter ``inc`` on endpoints with no registry."""
+
+
 class Endpoint:
     """One side of a connection.  Subclasses implement the four verbs."""
 
@@ -137,8 +141,35 @@ class Endpoint:
         self.bytes_received = 0
         self.rdma_bytes_read = 0
         self.closed = False
+        self._obs = None
+        self._inc_frames_rx = _noop_inc
+        self._inc_bytes_rx = _noop_inc
+        self._inc_reads = _noop_inc
+        self._inc_read_bytes = _noop_inc
         #: region_id -> zero-argument callable returning the region bytes
         self._regions: dict[int, Callable[[], bytes]] = {}
+
+    @property
+    def obs(self):
+        """Telemetry registry of the owning daemon, attached when the
+        endpoint is bound (``Ldmsd``/``Producer``).  Assigning binds the
+        frame/read counter ``inc`` methods once, so per-event accounting
+        is a single call with no registry lookup on the hot path."""
+        return self._obs
+
+    @obs.setter
+    def obs(self, registry) -> None:
+        self._obs = registry
+        if registry is None:
+            self._inc_frames_rx = _noop_inc
+            self._inc_bytes_rx = _noop_inc
+            self._inc_reads = _noop_inc
+            self._inc_read_bytes = _noop_inc
+        else:
+            self._inc_frames_rx = registry.counter("transport.frames_rx").inc
+            self._inc_bytes_rx = registry.counter("transport.bytes_rx").inc
+            self._inc_reads = registry.counter("transport.rdma_reads").inc
+            self._inc_read_bytes = registry.counter("transport.rdma_bytes").inc
 
     # -- messaging ---------------------------------------------------------
     def send(self, frame: bytes) -> None:
@@ -176,8 +207,16 @@ class Endpoint:
     # -- plumbing ----------------------------------------------------------
     def _deliver(self, frame: bytes) -> None:
         self.bytes_received += len(frame)
+        self._inc_frames_rx()
+        self._inc_bytes_rx(len(frame))
         if self.on_message is not None:
             self.on_message(frame)
+
+    def _account_read(self, nbytes: int) -> None:
+        """Initiator-side accounting of one completed one-sided read."""
+        self.rdma_bytes_read += nbytes
+        self._inc_reads()
+        self._inc_read_bytes(nbytes)
 
     def _closed(self) -> None:
         if not self.closed:

@@ -37,7 +37,7 @@ class _LocalEndpoint(Endpoint):
             on_complete(None)
             return
         data = bytes(reader())
-        self.rdma_bytes_read += len(data)
+        self._account_read(len(data))
         on_complete(data)
 
     def close(self) -> None:

@@ -117,7 +117,7 @@ class _SimEndpoint(Endpoint):
                 peer.transport.core.add_noise(self.engine.now, cost, tag="netmon")
             reply_delay = cost + peer._wire_delay(nbytes, self.node_id)
             if data is not None:
-                self.rdma_bytes_read += nbytes
+                self._account_read(nbytes)
 
             def complete() -> None:
                 # Initiator CPU to reap the completion.

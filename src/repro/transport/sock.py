@@ -115,7 +115,7 @@ class _SockEndpoint(Endpoint):
             if cb is not None:
                 (status,) = struct.unpack_from("<i", frame.payload, 0)
                 data = frame.payload[4:]
-                self.rdma_bytes_read += len(data)
+                self._account_read(len(data))
                 cb(data if status == wire.E_OK else None)
             return
         # Application frame: re-encode not needed; hand up the raw frame.

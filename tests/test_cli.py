@@ -73,6 +73,28 @@ class TestFullCliPipeline:
             server.close()
             daemon.shutdown()
 
+    def test_ls_verbose_renders_self_set(self, capsys):
+        """``ldms_ls -v`` shows ldmsd_self sets as a health block."""
+        from repro.core import Ldmsd
+
+        daemon = Ldmsd("vnode")
+        listener = daemon.listen("sock", ("127.0.0.1", 0))
+        try:
+            daemon.load_sampler("ldmsd_self", instance="vnode/self",
+                                component_id=1)
+            daemon.start_sampler("vnode/self", interval=0.1)
+            time.sleep(0.35)
+
+            rc = ldms_ls_main(["--port", str(listener.port), "-v"])
+            assert rc == 0
+            out = capsys.readouterr().out
+            assert "vnode/self" in out
+            assert "sampling :" in out and "end2end" in out
+            # the raw 47-metric dump is replaced by the rendering
+            assert "sample_us_p50" not in out
+        finally:
+            daemon.shutdown()
+
     def test_ctl_error_reply(self, tmp_path):
         from repro.core import Ldmsd
         from repro.core.control import ControlChannel, UnixControlServer

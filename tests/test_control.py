@@ -120,6 +120,59 @@ class TestControlVerbs:
         stats = json.loads(reply[2:])
         assert stats["name"] == "n0"
 
+    def test_stats_schema_includes_obs_snapshot(self, channel):
+        eng, d, ch = channel
+        ch.handle("load name=synthetic")
+        ch.handle("config name=synthetic instance=n0/s component_id=1")
+        ch.handle("start name=n0/s interval=1000000")
+        eng.run(until=3.5)
+        stats = json.loads(ch.handle("stats")[2:])
+        # stable top-level schema
+        assert {"name", "sets", "arena_used", "arena_peak", "arena_size",
+                "plugins", "producers", "records_delivered", "stores",
+                "obs"} <= set(stats)
+        obs = stats["obs"]
+        assert obs["enabled"] is True
+        assert set(obs) == {"enabled", "counters", "gauges", "histograms"}
+        # command handling and sampling were themselves counted
+        assert obs["counters"]["control.commands"] >= 4
+        assert obs["counters"]["sampler.samples"] == 3
+        h = obs["histograms"]["sample.duration"]
+        assert set(h) == {"count", "sum", "min", "max", "mean",
+                          "p50", "p95", "p99"}
+        assert h["count"] == 3
+
+    def test_prof_json_histogram_dumps(self, channel):
+        eng, d, ch = channel
+        ch.handle("load name=synthetic")
+        ch.handle("config name=synthetic instance=n0/s component_id=1")
+        ch.handle("start name=n0/s interval=1000000")
+        eng.run(until=2.5)
+        prof = json.loads(ch.handle("prof")[2:])
+        assert set(prof) == {"name", "histograms", "traces"}
+        assert prof["name"] == "n0"
+        assert isinstance(prof["traces"], list)
+        h = prof["histograms"]["sample.duration"]
+        # full dump: summary plus the bucket vector
+        assert {"count", "sum", "min", "max", "mean", "p50", "p95", "p99",
+                "edges", "buckets"} == set(h)
+        assert len(h["buckets"]) == len(h["edges"]) + 1
+        assert sum(h["buckets"]) == h["count"] == 2
+
+    def test_stats_and_prof_on_disabled_daemon(self):
+        eng = Engine()
+        env = SimEnv(eng)
+        fabric = SimFabric(eng)
+        d = Ldmsd("n0", env=env, obs_enabled=False,
+                  transports={"rdma": SimTransport(fabric, "rdma",
+                                                   node_id="n0")})
+        ch = ControlChannel(d)
+        stats = json.loads(ch.handle("stats")[2:])
+        assert stats["obs"] == {"enabled": False, "counters": {},
+                                "gauges": {}, "histograms": {}}
+        prof = json.loads(ch.handle("prof")[2:])
+        assert prof["histograms"] == {} and prof["traces"] == []
+
     def test_add_remove_producer(self, channel):
         eng, d, ch = channel
         d.listen("rdma", "n0:411")
