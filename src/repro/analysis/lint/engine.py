@@ -1,0 +1,513 @@
+"""The reprolint rule engine: one AST pass per file, many rules.
+
+Design (mirrors how ruff/flake8 organize checks, scaled down):
+
+* Rules subclass :class:`Rule`, declare which AST node types they want
+  (:attr:`Rule.interests`), and are registered once in a module-level
+  registry.  The engine walks each file's AST exactly once and
+  dispatches every node to the rules interested in its type, so adding
+  a rule never adds a traversal.
+* Scope is module-based, not path-based: each rule carries a tuple of
+  package prefixes it applies to plus an ``allowed-modules`` whitelist,
+  both overridable from ``[tool.reprolint]`` in ``pyproject.toml``.
+  That keeps exemptions explicit (``repro.util.timeutil`` may touch the
+  wall clock because it *is* the sanctioned clock boundary) rather than
+  hidden in path carve-outs.
+* Suppression is per line: ``# reprolint: ignore[rule-a,rule-b] -- why``
+  on the offending line.  The justification text after ``--`` is
+  mandatory; an ignore without one is itself a violation (rule id
+  ``suppression``), so the tree can never accumulate bare mutes.
+
+Exit codes are stable API: 0 = clean or warnings only, 1 = at least one
+error-severity violation, 2 = usage/config error (raised as
+:class:`LintConfigError` and mapped by the CLI).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+__all__ = [
+    "Engine",
+    "LintConfig",
+    "LintConfigError",
+    "ModuleContext",
+    "Report",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "register_rule",
+]
+
+SEVERITIES = ("error", "warning", "off")
+
+#: JSON reporter schema version (bump on breaking change).
+JSON_SCHEMA_VERSION = 1
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*ignore\[([A-Za-z0-9_\-,\s]+)\]\s*(?:--\s*(\S.*))?"
+)
+
+
+class LintConfigError(Exception):
+    """Bad configuration or usage; the CLI maps this to exit code 2."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding, pinned to a physical source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+    suppressed: bool = False
+    justification: str = ""
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+# ---------------------------------------------------------------------------
+# rules
+# ---------------------------------------------------------------------------
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`rule_id` / :attr:`description` /
+    :attr:`paper_ref`, declare :attr:`interests` (the AST node types
+    they want dispatched), and implement :meth:`visit`.  Per-rule
+    options arrive through :meth:`configure`; the common ones
+    (``severity``, ``packages``, ``allowed-modules``) are consumed by
+    the constructor.
+    """
+
+    rule_id: str = "abstract"
+    description: str = ""
+    #: The paper invariant this rule guards (shown by ``--list-rules``).
+    paper_ref: str = ""
+    default_severity: str = "error"
+    #: Module prefixes the rule applies to; None = every linted module.
+    default_packages: Optional[tuple[str, ...]] = None
+    #: Modules exempt by default (merged unless overridden in config).
+    default_allowed_modules: tuple[str, ...] = ()
+    #: AST node types dispatched to :meth:`visit`.
+    interests: tuple[type, ...] = ()
+
+    def __init__(self, options: Optional[dict] = None):
+        opts = dict(options or {})
+        self.severity = str(opts.pop("severity", self.default_severity))
+        if self.severity not in SEVERITIES:
+            raise LintConfigError(
+                f"{self.rule_id}: bad severity {self.severity!r} "
+                f"(expected one of {SEVERITIES})"
+            )
+        pkgs = opts.pop("packages", None)
+        self.packages = tuple(pkgs) if pkgs is not None else self.default_packages
+        allowed = opts.pop("allowed-modules", None)
+        self.allowed_modules = (
+            tuple(allowed) if allowed is not None else self.default_allowed_modules
+        )
+        self.configure(opts)
+
+    def configure(self, options: dict) -> None:
+        """Consume rule-specific options; reject leftovers."""
+        if options:
+            raise LintConfigError(
+                f"{self.rule_id}: unknown options {sorted(options)}"
+            )
+
+    def applies_to(self, module: str) -> bool:
+        if module in self.allowed_modules:
+            return False
+        if self.packages is None:
+            return True
+        return any(
+            module == p or module.startswith(p + ".") for p in self.packages
+        )
+
+    # -- per-file hooks ------------------------------------------------------
+    def begin_module(self, ctx: "ModuleContext") -> None:
+        """Called before dispatch starts for a file this rule applies to."""
+
+    def visit(self, node: ast.AST, ctx: "ModuleContext") -> None:
+        """Called once per node whose type is in :attr:`interests`."""
+
+    def end_module(self, ctx: "ModuleContext") -> None:
+        """Called after the walk finishes (emit whole-module findings)."""
+
+
+#: rule id -> rule class, in registration order.
+_RULE_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if cls.rule_id in _RULE_REGISTRY:
+        raise LintConfigError(f"duplicate rule id {cls.rule_id!r}")
+    _RULE_REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> dict[str, type[Rule]]:
+    return dict(_RULE_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# configuration
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LintConfig:
+    """Engine configuration, normally read from ``[tool.reprolint]``.
+
+    ``select`` limits the run to specific rule ids; ``rules`` maps rule
+    id -> option table (``severity``, ``packages``, ``allowed-modules``,
+    plus rule-specific keys).  ``src_roots`` tells the path->module
+    mapper which directory components begin a package tree.
+    """
+
+    select: Optional[tuple[str, ...]] = None
+    rules: dict[str, dict] = field(default_factory=dict)
+    src_roots: tuple[str, ...] = ("src",)
+
+    @classmethod
+    def from_pyproject(cls, path: str | Path) -> "LintConfig":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        with open(path, "rb") as f:
+            data = tomllib.load(f)
+        table = data.get("tool", {}).get("reprolint", {})
+        return cls.from_table(table)
+
+    @classmethod
+    def from_table(cls, table: dict) -> "LintConfig":
+        table = dict(table)
+        select = table.pop("select", None)
+        src_roots = tuple(table.pop("src-roots", ("src",)))
+        rules = {str(k): dict(v) for k, v in table.pop("rules", {}).items()}
+        if table:
+            raise LintConfigError(
+                f"[tool.reprolint]: unknown keys {sorted(table)}"
+            )
+        unknown = set(rules) - set(_RULE_REGISTRY)
+        if unknown:
+            raise LintConfigError(
+                f"[tool.reprolint.rules]: unknown rule ids {sorted(unknown)}"
+            )
+        return cls(
+            select=tuple(select) if select is not None else None,
+            rules=rules,
+            src_roots=src_roots,
+        )
+
+
+# ---------------------------------------------------------------------------
+# per-file context
+# ---------------------------------------------------------------------------
+
+
+class ModuleContext:
+    """What rules see while one file is being linted."""
+
+    def __init__(self, engine: "Engine", path: str, module: str,
+                 tree: ast.Module, lines: list[str]):
+        self.engine = engine
+        self.path = path
+        self.module = module
+        self.tree = tree
+        self.lines = lines
+        self._import_map: Optional[dict[str, str]] = None
+
+    @property
+    def import_map(self) -> dict[str, str]:
+        """Local alias -> dotted import target, computed once per file.
+
+        ``import numpy as np`` maps ``np -> numpy``; ``from time import
+        monotonic as mono`` maps ``mono -> time.monotonic``.  Rules use
+        it to resolve call targets to canonical dotted names.
+        """
+        if self._import_map is None:
+            m: dict[str, str] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for a in node.names:
+                        m[a.asname or a.name.split(".")[0]] = (
+                            a.name if a.asname else a.name.split(".")[0]
+                        )
+                elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                    for a in node.names:
+                        if a.name != "*":
+                            m[a.asname or a.name] = f"{node.module}.{a.name}"
+            self._import_map = m
+        return self._import_map
+
+    def resolve_call(self, func: ast.AST) -> Optional[str]:
+        """Dotted name of a call target with import aliases expanded."""
+        parts: list[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        head = self.import_map.get(parts[0], parts[0])
+        return ".".join([head] + parts[1:])
+
+    def report(self, rule: Rule, node: ast.AST | int, message: str,
+               col: Optional[int] = None) -> None:
+        if isinstance(node, int):
+            line, col = node, col or 0
+        else:
+            line = getattr(node, "lineno", 0)
+            col = getattr(node, "col_offset", 0)
+        self.engine._record(self, rule, line, col, message)
+
+
+# ---------------------------------------------------------------------------
+# report
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Report:
+    """Outcome of one lint run."""
+
+    files: list[str] = field(default_factory=list)
+    violations: list[Violation] = field(default_factory=list)
+    suppressed: list[Violation] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Violation]:
+        return [v for v in self.violations if v.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Violation]:
+        return [v for v in self.violations if v.severity == "warning"]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+    def render_text(self) -> str:
+        lines = [v.format() for v in sorted(
+            self.violations, key=lambda v: (v.path, v.line, v.col, v.rule))]
+        lines.append(
+            f"reprolint: {len(self.files)} files, {len(self.errors)} errors, "
+            f"{len(self.warnings)} warnings, {len(self.suppressed)} suppressed"
+        )
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps(
+            {
+                "tool": "reprolint",
+                "version": JSON_SCHEMA_VERSION,
+                "files_scanned": len(self.files),
+                "violations": [v.as_dict() for v in self.violations],
+                "suppressed": [
+                    dict(v.as_dict(), justification=v.justification)
+                    for v in self.suppressed
+                ],
+                "summary": {
+                    "errors": len(self.errors),
+                    "warnings": len(self.warnings),
+                    "suppressed": len(self.suppressed),
+                },
+                "exit_code": self.exit_code,
+            },
+            indent=2,
+        )
+
+
+# ---------------------------------------------------------------------------
+# engine
+# ---------------------------------------------------------------------------
+
+
+class _SuppressionRule(Rule):
+    """Synthetic rule id for malformed suppression comments."""
+
+    rule_id = "suppression"
+    description = "reprolint ignore comments must name known rules and justify"
+
+
+class Engine:
+    """Instantiates configured rules and lints files in one AST pass each."""
+
+    def __init__(self, config: Optional[LintConfig] = None):
+        self.config = config or LintConfig()
+        self.rules: list[Rule] = []
+        selected = self.config.select
+        for rule_id, cls in _RULE_REGISTRY.items():
+            if selected is not None and rule_id not in selected:
+                continue
+            rule = cls(self.config.rules.get(rule_id))
+            if rule.severity != "off":
+                self.rules.append(rule)
+        if selected is not None:
+            missing = set(selected) - set(_RULE_REGISTRY)
+            if missing:
+                raise LintConfigError(f"--select: unknown rules {sorted(missing)}")
+        self._suppression_rule = _SuppressionRule()
+        self._report: Optional[Report] = None
+        self._suppressions: dict[int, tuple[set[str], str]] = {}
+
+    # -- path handling -------------------------------------------------------
+    def module_name(self, path: Path) -> str:
+        """Map a file path to a dotted module under a configured src root."""
+        parts = list(path.resolve().parts)
+        for root in self.config.src_roots:
+            if root in parts:
+                rel = parts[parts.index(root) + 1:]
+                if rel:
+                    if rel[-1] == "__init__.py":
+                        rel = rel[:-1]
+                    elif rel[-1].endswith(".py"):
+                        rel[-1] = rel[-1][:-3]
+                    return ".".join(rel)
+        return path.stem
+
+    @staticmethod
+    def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+        files: list[Path] = []
+        for p in paths:
+            p = Path(p)
+            if p.is_dir():
+                files.extend(sorted(p.rglob("*.py")))
+            elif p.suffix == ".py":
+                files.append(p)
+            else:
+                raise LintConfigError(f"not a python file or directory: {p}")
+        return files
+
+    # -- linting -------------------------------------------------------------
+    def lint_paths(self, paths: Iterable[str | Path]) -> Report:
+        report = Report()
+        for f in self.iter_python_files(paths):
+            self._lint_one(
+                f.read_text(encoding="utf-8"), str(f), self.module_name(f), report
+            )
+        return report
+
+    def lint_source(self, source: str, module: str,
+                    path: str = "<string>",
+                    report: Optional[Report] = None) -> Report:
+        """Lint a source string as if it were module ``module`` (tests)."""
+        report = report if report is not None else Report()
+        self._lint_one(source, path, module, report)
+        return report
+
+    def _lint_one(self, source: str, path: str, module: str,
+                  report: Report) -> None:
+        report.files.append(path)
+        self._report = report
+        lines = source.splitlines()
+        self._suppressions = self._scan_suppressions(path, source, report)
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            report.violations.append(Violation(
+                path, exc.lineno or 0, exc.offset or 0,
+                "parse-error", "error", f"syntax error: {exc.msg}",
+            ))
+            return
+        ctx = ModuleContext(self, path, module, tree, lines)
+        active = [r for r in self.rules if r.applies_to(module)]
+        if not active:
+            return
+        dispatch: dict[type, list[Rule]] = {}
+        for rule in active:
+            rule.begin_module(ctx)
+            for t in rule.interests:
+                dispatch.setdefault(t, []).append(rule)
+        for node in ast.walk(tree):
+            for rule in dispatch.get(type(node), ()):
+                rule.visit(node, ctx)
+        for rule in active:
+            rule.end_module(ctx)
+
+    @staticmethod
+    def _iter_comments(source: str) -> list[tuple[int, int, str]]:
+        """(line, col, text) for every real comment token.
+
+        Tokenizing (rather than regexing raw lines) keeps suppression
+        syntax mentioned inside strings/docstrings from being parsed as
+        live suppressions.  Returns nothing on tokenize failure; the
+        parse-error path reports the syntax problem.
+        """
+        out: list[tuple[int, int, str]] = []
+        try:
+            for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+                if tok.type == tokenize.COMMENT:
+                    out.append((tok.start[0], tok.start[1], tok.string))
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return []
+        return out
+
+    def _scan_suppressions(self, path: str, source: str,
+                           report: Report) -> dict[int, tuple[set[str], str]]:
+        out: dict[int, tuple[set[str], str]] = {}
+        known = set(_RULE_REGISTRY) | {"parse-error"}
+        for i, col, comment in self._iter_comments(source):
+            m = _SUPPRESS_RE.search(comment)
+            if not m:
+                continue
+            ids = {s.strip() for s in m.group(1).split(",") if s.strip()}
+            justification = (m.group(2) or "").strip()
+            unknown = ids - known
+            if unknown:
+                report.violations.append(Violation(
+                    path, i, col,
+                    self._suppression_rule.rule_id, "error",
+                    f"suppression names unknown rule(s) {sorted(unknown)}",
+                ))
+            if not justification:
+                report.violations.append(Violation(
+                    path, i, col,
+                    self._suppression_rule.rule_id, "error",
+                    "suppression lacks a justification "
+                    "(write `# reprolint: ignore[rule] -- why`)",
+                ))
+            out[i] = (ids, justification)
+        return out
+
+    def _record(self, ctx: ModuleContext, rule: Rule, line: int, col: int,
+                message: str) -> None:
+        assert self._report is not None
+        ids_just = self._suppressions.get(line)
+        if ids_just is not None and rule.rule_id in ids_just[0]:
+            self._report.suppressed.append(Violation(
+                ctx.path, line, col, rule.rule_id, rule.severity, message,
+                suppressed=True, justification=ids_just[1],
+            ))
+            return
+        self._report.violations.append(Violation(
+            ctx.path, line, col, rule.rule_id, rule.severity, message,
+        ))

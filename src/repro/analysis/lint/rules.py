@@ -1,0 +1,431 @@
+"""The project-specific reprolint rules.
+
+Each rule guards one invariant the paper states in prose (DESIGN.md
+"Static analysis" maps every rule to its section reference).  Rules are
+deliberately narrow: they encode *this* codebase's contracts, not
+general Python style — ruff handles style in CI alongside this linter.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.analysis.lint.engine import Rule, register_rule
+
+__all__ = ["DES_PACKAGES"]
+
+#: The deterministic world: everything that runs under the DES clock.
+DES_PACKAGES = (
+    "repro.sim",
+    "repro.core",
+    "repro.plugins",
+    "repro.transport",
+    "repro.experiments",
+    "repro.util",
+)
+
+
+def _is_self_attr_call(node: ast.Call, attr: str) -> bool:
+    f = node.func
+    return isinstance(f, ast.Attribute) and f.attr == attr
+
+
+@register_rule
+class DesPurityRule(Rule):
+    """No wall clock or global RNG inside the deterministic world.
+
+    The DES replays cluster-scale schedules deterministically (same
+    seed, same trace); one ``time.time()`` or ``random.random()`` in a
+    sampler breaks replay silently.  Time comes from the engine clock
+    (``env.now()``), randomness from an injected
+    ``numpy.random.Generator`` (:mod:`repro.util.rngtools`).  The
+    sanctioned wall-clock boundary is :mod:`repro.util.timeutil`
+    (whitelisted below); ``RealEnv`` reads its clock through it.
+    """
+
+    rule_id = "des-purity"
+    description = "no wall-clock/global-RNG calls under the DES"
+    paper_ref = "§IV-C synchronous sampling; DESIGN 'Scale realism'"
+    default_packages = DES_PACKAGES
+    default_allowed_modules = ("repro.util.timeutil",)
+    interests = (ast.Call,)
+
+    #: Wall-clock entry points (time.monotonic included: only the
+    #: timeutil boundary module may read any host clock).
+    BANNED_TIME = frozenset({
+        "time.time", "time.time_ns",
+        "time.monotonic", "time.monotonic_ns",
+        "time.perf_counter", "time.perf_counter_ns",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+    })
+    #: numpy.random module-level (global-state or convenience) entry
+    #: points.  Generator construction (default_rng / SeedSequence) is
+    #: legal — that is how generators get injected.
+    BANNED_NP_RANDOM = frozenset({
+        "seed", "random", "rand", "randn", "randint", "random_sample",
+        "uniform", "normal", "standard_normal", "choice", "shuffle",
+        "permutation", "exponential", "poisson", "binomial",
+    })
+
+    def visit(self, node: ast.Call, ctx) -> None:
+        name = ctx.resolve_call(node.func)
+        if name is None:
+            return
+        if name in self.BANNED_TIME:
+            ctx.report(self, node,
+                       f"wall-clock call {name}() under the DES — use the "
+                       f"engine clock (env.now()) or repro.util.timeutil")
+        elif name.startswith("random."):
+            ctx.report(self, node,
+                       f"global-RNG call {name}() — inject a "
+                       f"numpy.random.Generator (repro.util.spawn_rng)")
+        elif (name.startswith("numpy.random.")
+              and name.rsplit(".", 1)[1] in self.BANNED_NP_RANDOM):
+            ctx.report(self, node,
+                       f"global numpy RNG call {name}() — inject a "
+                       f"Generator (repro.util.spawn_rng)")
+
+
+def _class_has_decorator(node: ast.ClassDef, name: str, ctx) -> bool:
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        resolved = ctx.resolve_call(target)
+        if resolved is not None and resolved.split(".")[-1] == name:
+            return True
+    return False
+
+
+def _class_bases(node: ast.ClassDef) -> set[str]:
+    out = set()
+    for b in node.bases:
+        if isinstance(b, ast.Name):
+            out.add(b.id)
+        elif isinstance(b, ast.Attribute):
+            out.add(b.attr)
+    return out
+
+
+def _methods(node: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    return {
+        s.name: s for s in node.body
+        if isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+@register_rule
+class SamplerContractRule(Rule):
+    """Sampler plugins pay layout cost at config(), never in sample().
+
+    The paper's ~1.3 µs/metric collect cost (§IV-E) depends on the
+    sample path being "read counters, one compiled whole-row write":
+    metric names resolve to indices once at ``config()`` (the PR-1 fast
+    path).  Flags, inside ``do_sample``/``sample`` bodies: string-named
+    ``set_value`` calls, ``index_of``/``indices_of`` calls,
+    ``getattr(x, "literal")`` lookups, literal name->value dicts, and
+    ``create_set`` calls.  Also requires every sampler class to define
+    both ``config`` and ``do_sample``.
+    """
+
+    rule_id = "sampler-contract"
+    description = "samplers: layout at config(), no name resolution in sample()"
+    paper_ref = "§IV-E collection cost; DESIGN 'Hot-path performance discipline'"
+    default_packages = ("repro.plugins.samplers",)
+    interests = (ast.ClassDef,)
+
+    def visit(self, node: ast.ClassDef, ctx) -> None:
+        is_sampler = (
+            _class_has_decorator(node, "register_sampler", ctx)
+            or "SamplerPlugin" in _class_bases(node)
+        )
+        if not is_sampler or node.name == "SamplerPlugin":
+            return
+        methods = _methods(node)
+        for required in ("config", "do_sample"):
+            if required not in methods:
+                ctx.report(self, node,
+                           f"sampler {node.name} does not define {required}()")
+        for mname in ("do_sample", "sample"):
+            fn = methods.get(mname)
+            if fn is not None:
+                self._check_sample_body(fn, ctx)
+
+    def _check_sample_body(self, fn: ast.FunctionDef, ctx) -> None:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Dict):
+                if any(isinstance(k, ast.Constant) and isinstance(k.value, str)
+                       for k in node.keys):
+                    ctx.report(self, node,
+                               f"literal name->value dict in {fn.name}() — "
+                               f"build positional rows (set_values) instead")
+            elif isinstance(node, ast.Call):
+                self._check_call(node, fn, ctx)
+
+    def _check_call(self, node: ast.Call, fn: ast.FunctionDef, ctx) -> None:
+        if _is_self_attr_call(node, "set_value") and node.args:
+            arg0 = node.args[0]
+            if isinstance(arg0, ast.JoinedStr) or (
+                isinstance(arg0, ast.Constant) and isinstance(arg0.value, str)
+            ):
+                ctx.report(self, node,
+                           f"per-sample metric-name resolution in {fn.name}() "
+                           f"— resolve indices at config() and use "
+                           f"set_values()/integer indices")
+        elif (_is_self_attr_call(node, "index_of")
+              or _is_self_attr_call(node, "indices_of")):
+            ctx.report(self, node,
+                       f"name->index resolution in {fn.name}() — "
+                       f"resolve once at config()")
+        elif (_is_self_attr_call(node, "create_set")
+              or (isinstance(node.func, ast.Name)
+                  and node.func.id == "create_set")):
+            ctx.report(self, node,
+                       f"create_set() in {fn.name}() — layout cost must be "
+                       f"paid once at config()")
+        elif (isinstance(node.func, ast.Name) and node.func.id == "getattr"
+              and len(node.args) >= 2
+              and isinstance(node.args[1], ast.Constant)
+              and isinstance(node.args[1].value, str)):
+            ctx.report(self, node,
+                       f"attribute-string lookup in {fn.name}() — bind the "
+                       f"attribute at config()")
+
+
+@register_rule
+class StoreContractRule(Rule):
+    """Stores define store(); buffering requires a flush path.
+
+    §IV-A: stores are the pipeline's durability boundary.  A store that
+    appends to in-memory state inside ``store()`` without overriding
+    ``flush()`` buffers unboundedly and loses everything on a crash —
+    the failure mode the paper's CSV/MySQL stores avoid by flushing on
+    a cadence.
+    """
+
+    rule_id = "store-contract"
+    description = "stores: store() required; buffering needs a flush() override"
+    paper_ref = "§IV-A/C storage; DESIGN 'System inventory'"
+    default_packages = ("repro.plugins.stores",)
+    interests = (ast.ClassDef,)
+
+    def visit(self, node: ast.ClassDef, ctx) -> None:
+        is_store = (
+            _class_has_decorator(node, "register_store", ctx)
+            or "StorePlugin" in _class_bases(node)
+        )
+        if not is_store or node.name == "StorePlugin":
+            return
+        methods = _methods(node)
+        if "store" not in methods:
+            ctx.report(self, node,
+                       f"store {node.name} does not define store()")
+            return
+        if "flush" in methods:
+            return
+        for sub in ast.walk(methods["store"]):
+            if (isinstance(sub, ast.Call)
+                    and _is_self_attr_call(sub, "append")
+                    and isinstance(sub.func.value, ast.Attribute)
+                    and isinstance(sub.func.value.value, ast.Name)
+                    and sub.func.value.value.id == "self"):
+                ctx.report(self, sub,
+                           f"{node.name}.store() buffers in memory but the "
+                           f"class defines no flush() path")
+                return
+
+
+@register_rule
+class ChunkDisciplineRule(Rule):
+    """Data-chunk bytes are written only through the MetricSet API.
+
+    §IV-B: every data-chunk write bumps the DGN and runs inside a
+    transaction that manages the consistent flag.  A raw
+    ``pack_into``/``memoryview`` write anywhere else produces torn data
+    that consumers cannot detect.  Only the set/arena/wire layer that
+    *implements* the API may touch raw buffers (whitelisted below);
+    the runtime half of this rule is ``REPRO_SANITIZE=1``
+    (:mod:`repro.core.sanitize`).
+    """
+
+    rule_id = "chunk-discipline"
+    description = "no raw pack_into/memoryview writes outside the set layer"
+    paper_ref = "§IV-B metric set format"
+    default_packages = ("repro",)
+    default_allowed_modules = (
+        "repro.core.metric_set",
+        "repro.core.memory",
+        "repro.core.wire",
+        "repro.core.metric",
+        "repro.core.sanitize",
+    )
+    interests = (ast.Call,)
+
+    def visit(self, node: ast.Call, ctx) -> None:
+        f = node.func
+        if isinstance(f, ast.Attribute) and f.attr == "pack_into":
+            ctx.report(self, node,
+                       "raw pack_into write outside the MetricSet layer — "
+                       "go through set_value/set_values so the DGN advances")
+        elif isinstance(f, ast.Name) and f.id == "memoryview":
+            ctx.report(self, node,
+                       "raw memoryview over set storage outside the "
+                       "MetricSet layer — use data_view()/set accessors")
+
+
+@register_rule
+class SwallowedExceptRule(Rule):
+    """No silent ``except Exception: pass`` in the pipeline layers.
+
+    §IV-E: failures must surface as counters (non-reporting hosts are
+    *counted* and bypassed, never silently dropped).  A broad handler
+    whose body is only ``pass``/``continue`` erases the failure — at
+    minimum it must narrow the type and bump an ``obs`` counter or log.
+    """
+
+    rule_id = "swallowed-except"
+    description = "broad except with a pass/continue-only body"
+    paper_ref = "§IV-E robustness; DESIGN 'Self-instrumentation'"
+    default_packages = ("repro.core", "repro.transport")
+    interests = (ast.ExceptHandler,)
+
+    _BROAD = ("Exception", "BaseException")
+
+    def _is_broad(self, t: Optional[ast.expr]) -> bool:
+        if t is None:
+            return True
+        if isinstance(t, ast.Name):
+            return t.id in self._BROAD
+        if isinstance(t, ast.Tuple):
+            return any(self._is_broad(e) for e in t.elts)
+        return False
+
+    def visit(self, node: ast.ExceptHandler, ctx) -> None:
+        if not self._is_broad(node.type):
+            return
+        if all(isinstance(s, (ast.Pass, ast.Continue)) for s in node.body):
+            what = "bare except" if node.type is None else "except Exception"
+            ctx.report(self, node,
+                       f"{what} silently swallowed — narrow the type and "
+                       f"count the failure into the obs registry")
+
+
+@register_rule
+class ControlVerbRegistryRule(Rule):
+    """Every control verb has a handler docstring and reference entry.
+
+    §IV-B: ldmsd is configured at runtime over the control channel; the
+    verb set *is* the daemon's public API.  Every ``_cmd_<verb>``
+    handler must carry a docstring, and the verb must appear in the
+    module docstring's command reference so ``ldmsctl`` users can
+    discover it.
+    """
+
+    rule_id = "control-verb-registry"
+    description = "control verbs need handler docstrings + doc reference"
+    paper_ref = "§IV-B runtime configuration"
+    default_packages = ("repro.core.control",)
+    interests = (ast.ClassDef,)
+
+    def visit(self, node: ast.ClassDef, ctx) -> None:
+        handlers = {
+            name[len("_cmd_"):]: fn
+            for name, fn in _methods(node).items()
+            if name.startswith("_cmd_")
+        }
+        if not handlers:
+            return
+        module_doc = ast.get_docstring(ctx.tree) or ""
+        words = set(module_doc.replace("=", " ").replace("(", " ").split())
+        for verb, fn in sorted(handlers.items()):
+            if not ast.get_docstring(fn):
+                ctx.report(self, fn,
+                           f"control verb {verb!r}: handler _cmd_{verb} has "
+                           f"no docstring")
+            if verb not in words:
+                ctx.report(self, fn,
+                           f"control verb {verb!r} is not documented in the "
+                           f"module's command reference")
+
+
+@register_rule
+class NoBlockingIoInHotPathRule(Rule):
+    """No blocking I/O or console calls on the per-sample hot path.
+
+    §IV-E: sampler execution sits inside the application's noise
+    budget (~0.4 ms for a ~200-metric set).  ``open()``/``print()``/
+    ``time.sleep()``/subprocess calls in ``do_sample`` or ``store``
+    bodies blow that budget by orders of magnitude; node files are read
+    through the daemon's ``fs`` abstraction and stores buffer, opening
+    files at config/flush time.
+    """
+
+    rule_id = "no-blocking-io-in-hot-path"
+    description = "no open/print/sleep/subprocess in per-sample code"
+    paper_ref = "§IV-E, §V-A sampler perturbation"
+    default_packages = ("repro.core", "repro.plugins")
+    interests = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    DEFAULT_HOT = ("do_sample", "store")
+    BANNED_BARE = frozenset({"open", "print", "input", "breakpoint"})
+    BANNED_DOTTED = frozenset({
+        "time.sleep",
+        "os.system", "os.popen",
+        "subprocess.run", "subprocess.call", "subprocess.check_call",
+        "subprocess.check_output", "subprocess.Popen",
+        "socket.socket", "socket.create_connection",
+    })
+
+    def configure(self, options: dict) -> None:
+        self.hot_functions = tuple(
+            options.pop("hot-functions", self.DEFAULT_HOT)
+        )
+        super().configure(options)
+
+    def visit(self, node: ast.FunctionDef, ctx) -> None:
+        if node.name not in self.hot_functions:
+            return
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            name = ctx.resolve_call(sub.func)
+            if name is None:
+                continue
+            if name in self.BANNED_BARE or name in self.BANNED_DOTTED:
+                ctx.report(self, sub,
+                           f"blocking call {name}() in hot path "
+                           f"{node.name}() — hoist to config()/flush() or "
+                           f"go through the fs abstraction")
+
+
+@register_rule
+class MutableDefaultArgRule(Rule):
+    """No mutable default arguments anywhere in the tree.
+
+    Plugin ``config()`` signatures are long-lived daemon state; a
+    shared ``[]``/``{}`` default aliases state across plugin instances
+    — across *daemons* in the simulator, breaking run isolation.
+    """
+
+    rule_id = "mutable-default-arg"
+    description = "mutable default argument ([]/{}/set()/list()/dict())"
+    paper_ref = "DESIGN 'Scale realism' (per-daemon isolation)"
+    interests = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    _MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+    def visit(self, node, ctx) -> None:
+        args = node.args
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            bad = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in self._MUTABLE_CALLS
+            )
+            if bad:
+                fname = getattr(node, "name", "<lambda>")
+                ctx.report(self, default,
+                           f"mutable default argument in {fname}() — "
+                           f"default to None and build per call")

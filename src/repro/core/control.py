@@ -129,6 +129,7 @@ class ControlChannel:
         return [attrs[k] for k in keys]
 
     def _cmd_load(self, attrs) -> str:
+        """``load name=<plugin>``: mark a sampler plugin loadable."""
         (name,) = self._need(attrs, "name")
         from repro.core.sampler import sampler_registry
 
@@ -138,6 +139,7 @@ class ControlChannel:
         return f"loaded {name}"
 
     def _cmd_config(self, attrs) -> str:
+        """``config name=<plugin> instance=<i> ...``: instantiate + configure."""
         (name,) = self._need(attrs, "name")
         if name not in self._loaded:
             raise ConfigError(f"plugin {name!r} not loaded")
@@ -148,6 +150,7 @@ class ControlChannel:
         return f"configured {plugin.instance}"
 
     def _cmd_start(self, attrs) -> str:
+        """``start name=<inst> interval=<usec>``: begin periodic sampling."""
         (name,) = self._need(attrs, "name")
         interval = _usec(attrs, "interval")
         offset = _usec(attrs, "offset", required=False)
@@ -155,11 +158,13 @@ class ControlChannel:
         return f"started {name}"
 
     def _cmd_stop(self, attrs) -> str:
+        """``stop name=<inst>``: halt sampling, keep the instance."""
         (name,) = self._need(attrs, "name")
         self.daemon.stop_sampler(name)
         return f"stopped {name}"
 
     def _cmd_term(self, attrs) -> str:
+        """``term name=<inst>``: stop and destroy a sampler instance."""
         (name,) = self._need(attrs, "name")
         plugin = self.daemon.sampler_plugins().get(name)
         if plugin is None:
@@ -171,6 +176,7 @@ class ControlChannel:
         return f"terminated {name}"
 
     def _cmd_listen(self, attrs) -> str:
+        """``listen xprt=<x> port=<p>``: accept aggregator connections."""
         (xprt,) = self._need(attrs, "xprt")
         addr = self._addr_from(attrs, default_host="127.0.0.1")
         listener = self.daemon.listen(xprt, addr)
@@ -178,6 +184,7 @@ class ControlChannel:
         return f"listening on {addr}" + (f" port={port}" if port is not None else "")
 
     def _cmd_add(self, attrs) -> str:
+        """``add host=... interval=<usec>``: add an upstream producer."""
         (xprt,) = self._need(attrs, "xprt")
         interval = _usec(attrs, "interval")
         offset = _usec(attrs, "offset", required=False)
@@ -207,22 +214,26 @@ class ControlChannel:
         return f"added producer {name}"
 
     def _cmd_advertise(self, attrs) -> str:
+        """``advertise host=<h> xprt=<x>``: announce this daemon upstream."""
         host, xprt = self._need(attrs, "host", "xprt")
         addr = (host, int(attrs["port"])) if "port" in attrs else host
         self.daemon.advertise(xprt, addr, name=attrs.get("name"))
         return f"advertising to {host}"
 
     def _cmd_remove(self, attrs) -> str:
+        """``remove name=<producer>``: drop a producer and its sets."""
         (name,) = self._need(attrs, "name")
         self.daemon.remove_producer(name)
         return f"removed {name}"
 
     def _cmd_standby_activate(self, attrs) -> str:
+        """``standby_activate name=<producer>``: promote a standby producer."""
         (name,) = self._need(attrs, "name")
         self.daemon.activate_standby(name)
         return f"activated {name}"
 
     def _cmd_store(self, attrs) -> str:
+        """``store name=<plugin> ...``: attach a store policy to the daemon."""
         (name,) = self._need(attrs, "name")
         schema = attrs.get("schema")
         producers = tuple(p for p in attrs.get("producers", "").split(",") if p) or None
@@ -238,6 +249,7 @@ class ControlChannel:
         return f"store {name} configured"
 
     def _cmd_dir(self, attrs) -> str:
+        """``dir``: JSON directory of published sets (name/schema/sizes)."""
         infos = self.daemon.dir_info()
         return json.dumps(
             [
@@ -253,6 +265,7 @@ class ControlChannel:
         )
 
     def _cmd_stats(self, attrs) -> str:
+        """``stats``: JSON operational counters + obs registry snapshot."""
         return json.dumps(self.daemon.stats())
 
     def _cmd_prof(self, attrs) -> str:
@@ -266,6 +279,7 @@ class ControlChannel:
         )
 
     def _cmd_quit(self, attrs) -> str:
+        """``quit``: shut the daemon down and close the channel."""
         self.daemon.shutdown()
         return "bye"
 

@@ -20,12 +20,12 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
-import time
 from typing import Any, Callable, Optional
 
 from repro.sim.engine import Engine, Event
 from repro.sim.resources import CpuCore, Resource
 from repro.util.errors import SimulationError
+from repro.util.timeutil import monotonic
 
 __all__ = ["Env", "RealEnv", "SimEnv", "TaskHandle", "WorkerPool"]
 
@@ -225,12 +225,12 @@ class RealEnv(Env):
         self._cv = threading.Condition()
         self._stop = False
         self._pools: list[_RealPool] = []
-        self._epoch = time.monotonic()
+        self._epoch = monotonic()
         self._timer = threading.Thread(target=self._run, name="env-timer", daemon=True)
         self._timer.start()
 
     def now(self) -> float:
-        return time.monotonic() - self._epoch
+        return monotonic() - self._epoch
 
     def call_later(self, delay: float, fn: Callable[[], Any]) -> TaskHandle:
         handle = TaskHandle(lambda: None)  # cancellation checked via flag

@@ -23,9 +23,9 @@ examples over real TCP) and inside the discrete-event simulator
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Optional
+from typing import Optional
 
-from repro.core import wire
+from repro.core import sanitize, wire
 from repro.core.aggregator import Producer, ProducerConfig
 from repro.core.env import Env, RealEnv, SimEnv
 from repro.core.memory import Arena
@@ -36,7 +36,7 @@ from repro.core.store import StorePlugin, StorePolicy, StoreRecord, store_regist
 from repro.obs import Telemetry, Tracer
 from repro.sim.resources import CpuCore
 from repro.transport.base import Endpoint, Listener, Transport
-from repro.util.errors import ConfigError
+from repro.util.errors import ConfigError, OutOfMemory, StoreError
 from repro.util.units import parse_size
 
 __all__ = ["Ldmsd"]
@@ -130,10 +130,15 @@ class Ldmsd:
         #: attribute access per event, not a registry lookup.
         self.obs = Telemetry(enabled=obs_enabled)
         self.tracer = Tracer(env.now, enabled=obs_enabled)
+        if sanitize.enabled():
+            # REPRO_SANITIZE=count routes discipline violations into
+            # this registry (ldmsd_self exports the aggregate).
+            sanitize.register_registry(self.obs)
         self._h_sample = self.obs.histogram("sample.duration")
         self._h_store_flush = self.obs.histogram("store.flush")
         self._h_sample_to_store = self.obs.histogram("pipeline.sample_to_store")
         self._c_samples = self.obs.counter("sampler.samples")
+        self._c_set_create_failed = self.obs.counter("set.create_failed")
         self._c_store_errors = self.obs.counter("store.errors")
         self._c_store_no_match = self.obs.counter("store.no_match")
         self._c_dir_req = self.obs.counter("serve.dir_req")
@@ -169,7 +174,14 @@ class Ldmsd:
         with self.lock:
             if name in self._sets:
                 raise ConfigError(f"metric set {name!r} already exists")
-            mset = MetricSet.create(name, schema, metrics, self.arena)
+            try:
+                mset = MetricSet.create(name, schema, metrics, self.arena)
+            except OutOfMemory:
+                # Arena exhaustion is an operator-visible event (the
+                # paper sizes set memory up front, §IV-B): count it so
+                # ldmsd_self exposes it, then re-raise for the caller.
+                self._c_set_create_failed.inc()
+                raise
             self._sets[name] = mset
             return mset
 
@@ -555,9 +567,10 @@ class Ldmsd:
         """Flush-pool task: write one record, time it, survive failures."""
         try:
             store.submit(record)
-        except Exception:
-            # The store already counted the failure (records_failed);
-            # keep the flush worker alive and surface it in telemetry.
+        except StoreError:
+            # submit() wraps any backend failure in StoreError after
+            # counting it (records_failed); keep the flush worker alive
+            # and surface it in telemetry.
             self._c_store_errors.inc()
             return
         end = self.env.now()

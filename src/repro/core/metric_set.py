@@ -40,7 +40,8 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
-from repro.core.memory import Arena
+from repro.core import sanitize
+from repro.core.memory import Arena, OutOfMemory
 from repro.core.metric import MetricDesc, MetricType
 from repro.util.errors import ReproError
 
@@ -224,7 +225,10 @@ class MetricSet:
         self._meta_off = arena.alloc(self.meta_size)
         try:
             self._data_off = arena.alloc(self.data_size)
-        except Exception:
+        except (OutOfMemory, ValueError):
+            # Data chunk failed after the metadata chunk succeeded:
+            # release the metadata chunk so a half-built set never
+            # leaks arena space, then let the caller count the failure.
             arena.free(self._meta_off)
             raise
         self._meta = arena.view(self._meta_off, self.meta_size)
@@ -251,6 +255,10 @@ class MetricSet:
             pos += MetricDesc.WIRE_SIZE
         # Data header: MGN mirrored, DGN 0, consistent 0, ts 0
         _STRUCT_DATA_HDR.pack_into(self._data, 0, mgn, 0, 0, 0.0)
+
+        # Shadow state for REPRO_SANITIZE runs; None when disabled, so
+        # the hot paths pay a single is-None branch.
+        self._shadow = sanitize.attach(self)
 
     # ------------------------------------------------------------------
     # construction
@@ -298,7 +306,7 @@ class MetricSet:
         for _ in range(card):
             descs.append(MetricDesc.unpack(meta[pos : pos + MetricDesc.WIRE_SIZE]))
             pos += MetricDesc.WIRE_SIZE
-        return cls(
+        mset = cls(
             name_b.rstrip(b"\x00").decode("utf-8"),
             schema_b.rstrip(b"\x00").decode("utf-8"),
             descs,
@@ -306,6 +314,11 @@ class MetricSet:
             mgn=mgn,
             data_size=data_size,
         )
+        if mset._shadow is not None:
+            # Mirrors get the consumer-side checks: decoding values
+            # while the consistent flag is clear is a violation here.
+            mset._shadow.is_mirror = True
+        return mset
 
     def delete(self) -> None:
         """Release the set's arena memory."""
@@ -380,6 +393,8 @@ class MetricSet:
         """Start a sampling transaction: clears the consistent flag."""
         if self._in_transaction:
             raise ReproError(f"nested transaction on set {self.name!r}")
+        if self._shadow is not None:
+            sanitize.check(self, "begin_transaction")
         self._in_transaction = True
         self._data[_CONSISTENT_OFF] = 0
 
@@ -387,6 +402,8 @@ class MetricSet:
         """Finish a transaction: stamp time, set consistent."""
         if not self._in_transaction:
             raise ReproError(f"end_transaction without begin on {self.name!r}")
+        if self._shadow is not None:
+            sanitize.check(self, "end_transaction")
         _STRUCT_D.pack_into(self._data, _TS_OFF, timestamp)
         self._data[_CONSISTENT_OFF] = 1
         self._in_transaction = False
@@ -408,6 +425,8 @@ class MetricSet:
             st.pack_into(self._data, off, cs.clamps[i](value))
         self._dgn = dgn = (self._dgn + 1) & _U64_MASK
         _STRUCT_Q.pack_into(self._data, _DGN_OFF, dgn)
+        if self._shadow is not None:
+            sanitize.commit(self)
 
     def set_values(self, values) -> None:
         """Write every metric in descriptor order with one compiled pack.
@@ -442,6 +461,8 @@ class MetricSet:
                     structs[i].pack_into(data, offs[i], clamps[i](v))
         self._dgn = dgn = (self._dgn + card) & _U64_MASK
         _STRUCT_Q.pack_into(self._data, _DGN_OFF, dgn)
+        if self._shadow is not None:
+            sanitize.commit(self)
 
     def set_all(self, values, timestamp: float) -> None:
         """Whole-set update in one transaction (the common sampler path)."""
@@ -455,12 +476,16 @@ class MetricSet:
     # consumer API
     # ------------------------------------------------------------------
     def get(self, metric: str | int) -> float | int:
+        if self._shadow is not None:
+            sanitize.check_read(self)
         i = metric if isinstance(metric, int) else self._index[metric]
         cs = self._compiled
         return cs.metric_structs[i].unpack_from(self._data, cs.offsets[i])[0]
 
     def values_tuple(self) -> tuple[float | int, ...]:
         """All values in descriptor order, decoded with one unpack."""
+        if self._shadow is not None:
+            sanitize.check_read(self)
         rs = self._compiled.row_struct
         if rs is not None:
             return rs.unpack_from(self._data, _DATA_HDR_SIZE)
@@ -478,6 +503,8 @@ class MetricSet:
         """
         import numpy as np
 
+        if self._shadow is not None:
+            sanitize.check_read(self)
         dtype = self._compiled.array_dtype
         if dtype is not None:
             return np.frombuffer(
@@ -503,10 +530,14 @@ class MetricSet:
         if a transaction is in flight the consistent flag in the copy is
         clear and the consumer must discard the sample.
         """
+        if self._shadow is not None:
+            sanitize.check(self, "data_bytes")
         return bytes(self._data)
 
     def data_view(self) -> memoryview:
         """Zero-copy read-only view of the data chunk (local transport)."""
+        if self._shadow is not None:
+            sanitize.check(self, "data_view")
         return self._data.toreadonly()
 
     def peek_data_header(self, raw: bytes | memoryview) -> tuple[int, bool]:
@@ -536,9 +567,13 @@ class MetricSet:
         Raises :class:`SchemaMismatch` if the data's MGN does not match
         this mirror's metadata MGN — the consumer must re-lookup.
         """
-        dgn, _ = self.peek_data_header(raw)
+        dgn, consistent = self.peek_data_header(raw)
+        if self._shadow is not None:
+            sanitize.check_apply(self, dgn, consistent)
         self._data[:] = raw
         self._dgn = dgn
+        if self._shadow is not None:
+            sanitize.commit(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -16,7 +16,7 @@ from typing import Callable, Iterable, Optional
 
 from repro.core.metric import MetricType
 from repro.core.metric_set import MetricSet
-from repro.util.errors import ConfigError
+from repro.util.errors import ConfigError, StoreError
 
 __all__ = ["StoreRecord", "StorePolicy", "StorePlugin", "store_registry", "register_store"]
 
@@ -124,8 +124,9 @@ class StorePlugin:
         """Policy-filter then store.
 
         A record the policy rejects counts as *dropped*; a ``store()``
-        that raises counts as *failed* (and re-raises — the flush worker
-        decides whether the failure is fatal).  Both counters surface in
+        that raises counts as *failed* and re-raises as
+        :class:`~repro.util.errors.StoreError` so the flush worker has
+        one narrow type to catch.  Both counters surface in
         ``Ldmsd.stats()`` next to ``records_stored``.
         """
         if not self.wants(record):
@@ -136,7 +137,7 @@ class StorePlugin:
         except Exception as exc:
             self.records_failed += 1
             self.last_error = str(exc)
-            raise
+            raise StoreError(f"{self.plugin_name}: {exc}") from exc
         self.records_stored += 1
 
     def store(self, record: StoreRecord) -> None:

@@ -15,7 +15,7 @@ while one LDMS sampler reads the file once for its whole metric set.
 
 from __future__ import annotations
 
-import time
+from repro.util.timeutil import perf_counter
 from dataclasses import dataclass
 
 from repro.baselines.ganglia import GangliaMetric, Gmond
@@ -87,16 +87,16 @@ def run(sweeps: int = 200) -> CollectionCostResult:
     cpu_plug.sample(0.0)
     gmond.collect_and_send(0.0)
 
-    t0 = time.perf_counter()
+    t0 = perf_counter()
     for i in range(sweeps):
         mem_plug.sample(float(i))
         cpu_plug.sample(float(i))
-    ldms_s = time.perf_counter() - t0
+    ldms_s = perf_counter() - t0
 
-    t0 = time.perf_counter()
+    t0 = perf_counter()
     for i in range(sweeps):
         gmond.collect_and_send(float(i))
-    ganglia_s = time.perf_counter() - t0
+    ganglia_s = perf_counter() - t0
 
     per = sweeps * n_metrics
     return CollectionCostResult(

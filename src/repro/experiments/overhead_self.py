@@ -20,7 +20,7 @@ telemetry enabled and disabled, and reports
 
 from __future__ import annotations
 
-import time
+from repro.util.timeutil import perf_counter
 from dataclasses import dataclass
 
 from repro import obs
@@ -75,9 +75,9 @@ def run_pipeline(obs_enabled: bool, n_samplers: int = 8,
                  duration: float = 120.0) -> tuple[PipelineRun, Ldmsd, list]:
     eng, agg, store, samplers = _build(n_samplers, interval, metrics,
                                        obs_enabled)
-    t0 = time.perf_counter()
+    t0 = perf_counter()
     eng.run(until=duration)
-    wall = time.perf_counter() - t0
+    wall = perf_counter() - t0
     self_rows = sum(1 for r in store.rows if r.schema == obs.SELF_SCHEMA)
     run = PipelineRun(obs_enabled=obs_enabled, wall_seconds=wall,
                       rows_stored=len(store.rows), self_rows=self_rows)

@@ -10,7 +10,7 @@ well under a minute; the default runs at the benchmark scales
 from __future__ import annotations
 
 import argparse
-import time
+from repro.util.timeutil import monotonic
 
 from repro.experiments.common import PAPER, print_header, print_table
 
@@ -25,7 +25,7 @@ def main(argv: list[str] | None = None) -> list[list[object]]:
     quick = args.quick
     dims = (8, 8, 8) if quick else PAPER.torus_dims
     rows: list[list[object]] = []
-    t0 = time.time()
+    t0 = monotonic()
 
     def add(exp: str, quantity: str, paper, measured, ok: bool) -> None:
         rows.append([exp, quantity, paper, measured, "OK" if ok else "DRIFT"])
@@ -124,7 +124,7 @@ def main(argv: list[str] | None = None) -> list[list[object]]:
 
     print_header(f"LDMS reproduction summary "
                  f"({'quick' if quick else 'full'} scale, "
-                 f"{time.time() - t0:.0f}s)")
+                 f"{monotonic() - t0:.0f}s)")
     print_table(["experiment", "quantity", "paper", "measured", "status"],
                 rows)
     n_ok = sum(1 for r in rows if r[-1] == "OK")

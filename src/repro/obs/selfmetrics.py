@@ -59,6 +59,8 @@ _COUNTER_NAMES = (
     "records_stored",
     "store_errors",
     "store_dropped",
+    "set_create_failed",
+    "sanitizer_violations",
 )
 
 
@@ -115,6 +117,8 @@ def collect(daemon: "Ldmsd") -> list[int]:
         sum(s.records_stored for s in daemon.stores),
         sum(s.records_failed for s in daemon.stores),
         sum(s.records_dropped for s in daemon.stores),
+        daemon.obs.counter("set.create_failed").value,
+        daemon.obs.counter("sanitizer.violations").value,
     ]
     for _, hname in _HISTOGRAMS:
         h = daemon.obs.histogram(hname)

@@ -103,14 +103,17 @@ class BlueWatersSampler(SamplerPlugin):
         self._prev_ts = 0.0
 
     def do_sample(self, now: float) -> None:
+        # One whole-row write: values accumulate in metric-creation
+        # order and land with a single set_values() pack + DGN bump.
         fs = self.daemon.fs
+        vals: list[float | int] = []
         # HSN (+ derived)
         data = parse_gpcdr(fs.read(self.gpcdr_path))
         ts = float(data.get("timestamp", now))
         dt = ts - self._prev_ts if self._prev is not None else 0.0
         for d in GEMINI_DIRECTIONS:
             for raw in RAW:
-                self.set.set_value(f"{raw}_{d}", int(data.get(f"{raw}_{d}", 0)))
+                vals.append(int(data.get(f"{raw}_{d}", 0)))
             if self._prev is not None and dt > 0:
                 d_traffic = data.get(f"traffic_{d}", 0) - self._prev.get(f"traffic_{d}", 0)
                 d_packets = data.get(f"packets_{d}", 0) - self._prev.get(f"packets_{d}", 0)
@@ -121,9 +124,9 @@ class BlueWatersSampler(SamplerPlugin):
                 avg_pkt = d_traffic / d_packets if d_packets > 0 else 0.0
             else:
                 pct_stall = pct_bw = avg_pkt = 0.0
-            self.set.set_value(f"percent_stalled_{d}", max(pct_stall, 0.0))
-            self.set.set_value(f"percent_bw_{d}", max(pct_bw, 0.0))
-            self.set.set_value(f"avg_packet_size_{d}", max(avg_pkt, 0.0))
+            vals.append(max(pct_stall, 0.0))
+            vals.append(max(pct_bw, 0.0))
+            vals.append(max(avg_pkt, 0.0))
         self._prev = {k: float(v) for k, v in data.items()}
         self._prev_ts = ts
         # Lustre
@@ -131,27 +134,22 @@ class BlueWatersSampler(SamplerPlugin):
             stats = parse_lustre_stats(
                 fs.read(f"{self.llite_root}/{self._llite[fsname]}/stats")
             )
-            for ev in BW_LUSTRE_EVENTS:
-                self.set.set_value(f"{ev}#stats.{fsname}", stats.get(ev, 0))
+            vals.extend(stats.get(ev, 0) for ev in BW_LUSTRE_EVENTS)
         # LNET
         lnet = parse_lnet_stats(fs.read("/proc/sys/lnet/stats"))
-        for m in LNET_FIELDS:
-            self.set.set_value(m, lnet.get(m, 0))
+        vals.extend(lnet.get(m, 0) for m in LNET_FIELDS)
         # NIC totals: derive from gpcdr traffic totals (the real sampler
         # reads separate Gemini NIC performance counters).
-        total_out = sum(data.get(f"traffic_{d}", 0) for d in GEMINI_DIRECTIONS)
-        for i, c in enumerate(NIC_COUNTERS):
-            self.set.set_value(f"nic_{c}", int(total_out) >> i)
-        # Load averages
-        load = parse_loadavg(fs.read("/proc/loadavg"))
-        for name, value in load.items():
-            self.set.set_value(name, value)
+        total_out = int(sum(data.get(f"traffic_{d}", 0) for d in GEMINI_DIRECTIONS))
+        vals.extend(total_out >> i for i in range(len(NIC_COUNTERS)))
+        # Load averages (parser yields load1/load5/load15/runnable/total_procs
+        # in metric order)
+        vals.extend(parse_loadavg(fs.read("/proc/loadavg")).values())
         # CPU aggregate
         stat = parse_proc_stat(fs.read("/proc/stat"))
-        for f in CPU_FIELDS:
-            self.set.set_value(f"cpu_{f}", stat.get(f"cpu_{f}", 0))
-        self.set.set_value("ctxt", stat.get("ctxt", 0))
-        self.set.set_value("processes", stat.get("processes", 0))
+        vals.extend(stat.get(f"cpu_{f}", 0) for f in CPU_FIELDS)
+        vals.append(stat.get("ctxt", 0))
+        vals.append(stat.get("processes", 0))
         # RUR-style placeholders (no power instrumentation in the model).
-        for c in RUR_COUNTERS:
-            self.set.set_value(f"rur_{c}", 0)
+        vals.extend(0 for _ in RUR_COUNTERS)
+        self.set.set_values(vals)

@@ -63,11 +63,15 @@ class EthernetSampler(SamplerPlugin):
         self.set = self.create_set(instance, "ethernet", metrics)
 
     def do_sample(self, now: float) -> None:
+        # Counters accumulate in metric-creation order (iface-major) and
+        # land with one bulk set_values() write.
+        fs = self.daemon.fs
+        vals: list[int] = []
         for iface in self.ifaces:
             for ctr in COUNTERS:
                 path = f"{self.root}/{iface}/statistics/{ctr}"
                 try:
-                    value = parse_counter_file(self.daemon.fs.read(path))
+                    vals.append(parse_counter_file(fs.read(path)))
                 except (FileNotFoundError, ValueError):
-                    value = 0
-                self.set.set_value(f"{ctr}#{iface}", value)
+                    vals.append(0)
+        self.set.set_values(vals)

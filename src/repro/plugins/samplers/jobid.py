@@ -34,4 +34,4 @@ class JobidSampler(SamplerPlugin):
             value = int(self.daemon.fs.read(self.path).split()[0])
         except (FileNotFoundError, ValueError, IndexError):
             value = 0
-        self.set.set_value("job_id", value)
+        self.set.set_values((value,))

@@ -31,6 +31,6 @@ class LoadavgSampler(SamplerPlugin):
         )
 
     def do_sample(self, now: float) -> None:
+        # Parser yields values in metric-creation order; one bulk write.
         data = parse_loadavg(self.daemon.fs.read(self.path))
-        for name, value in data.items():
-            self.set.set_value(name, value)
+        self.set.set_values(tuple(data.values()))

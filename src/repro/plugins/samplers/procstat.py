@@ -55,5 +55,4 @@ class ProcstatSampler(SamplerPlugin):
 
     def do_sample(self, now: float) -> None:
         data = parse_proc_stat(self.daemon.fs.read(self.path))
-        for m in self.metrics:
-            self.set.set_value(m, data.get(m, 0))
+        self.set.set_values([data.get(m, 0) for m in self.metrics])

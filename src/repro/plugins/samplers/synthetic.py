@@ -10,8 +10,6 @@ template for user-written plugins.  Patterns:
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.metric import MetricType
 from repro.core.sampler import SamplerPlugin, register_sampler
 from repro.util.errors import ConfigError
@@ -57,13 +55,11 @@ class SyntheticSampler(SamplerPlugin):
 
     def do_sample(self, now: float) -> None:
         self._ticks += 1
+        n = len(self.names)
         if self.pattern == "counter":
-            for i, name in enumerate(self.names):
-                self.set.set_value(name, self._ticks * (i + 1))
+            vals = [self._ticks * (i + 1) for i in range(n)]
         elif self.pattern == "constant":
-            for i, name in enumerate(self.names):
-                self.set.set_value(name, i)
+            vals = list(range(n))
         else:
-            values = self.rng.integers(0, 2**32, size=len(self.names))
-            for name, value in zip(self.names, values):
-                self.set.set_value(name, int(value))
+            vals = [int(v) for v in self.rng.integers(0, 2**32, size=n)]
+        self.set.set_values(vals)

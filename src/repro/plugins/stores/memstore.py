@@ -19,14 +19,37 @@ __all__ = ["MemoryStore"]
 
 @register_store("memory")
 class MemoryStore(StorePlugin):
-    """Keeps every record; provides per-metric time-series extraction."""
+    """Keeps every record; provides per-metric time-series extraction.
 
-    def config(self, **kwargs) -> None:
+    Config options
+    --------------
+    max_rows:
+        Retention cap; when set, the oldest rows are evicted (counted
+        into ``records_dropped``) as new ones arrive.  Default: keep
+        everything, which is what tests and the analysis layer want.
+    """
+
+    def config(self, max_rows=None, **kwargs) -> None:
         super().config(**kwargs)
         self.rows: list[StoreRecord] = []
+        self.max_rows = int(max_rows) if max_rows is not None else None
+        if self.max_rows is not None and self.max_rows < 1:
+            raise ValueError("memory store: max_rows must be >= 1")
 
     def store(self, record: StoreRecord) -> None:
         self.rows.append(record)
+        if self.max_rows is not None and len(self.rows) > self.max_rows:
+            evict = len(self.rows) - self.max_rows
+            del self.rows[:evict]
+            self.records_dropped += evict
+
+    def flush(self) -> None:
+        """No-op: rows are already durable to the store's consumers.
+
+        Memory *is* this store's backend (the query API below reads
+        ``self.rows`` directly), so there is nothing to push further;
+        retention is bounded by ``max_rows``, not by flushing.
+        """
 
     # -- queries ---------------------------------------------------------
     def producers(self) -> list[str]:

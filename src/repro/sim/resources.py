@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Any
 
 from repro.sim.engine import Engine, Event
 from repro.util.errors import SimulationError

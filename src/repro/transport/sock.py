@@ -33,6 +33,15 @@ class _SockEndpoint(Endpoint):
         self._pending_reads: dict[int, Callable[[Optional[bytes]], None]] = {}
         self._read_id = itertools.count(1)
         self._reader = threading.Thread(target=self._read_loop, daemon=True)
+
+    def start_reader(self) -> None:
+        """Begin dispatching inbound frames.
+
+        Called by the transport only after the creator's connect callback
+        has returned (and so had its chance to wire ``on_message``);
+        starting the reader inside ``__init__`` lets a peer's first frame
+        race the handler assignment and be silently dropped.
+        """
         self._reader.start()
 
     # -- verbs ---------------------------------------------------------------
@@ -150,7 +159,9 @@ class _SockListener(Listener):
                 conn.close()
                 return
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            self.on_connect(_SockEndpoint(conn))
+            endpoint = _SockEndpoint(conn)
+            self.on_connect(endpoint)
+            endpoint.start_reader()
 
     def close(self) -> None:
         self._stop = True
@@ -185,6 +196,8 @@ class SockTransport(Transport):
             except OSError:
                 on_connected(None)
                 return
-            on_connected(_SockEndpoint(s))
+            endpoint = _SockEndpoint(s)
+            on_connected(endpoint)
+            endpoint.start_reader()
 
         threading.Thread(target=_do, daemon=True).start()

@@ -24,6 +24,7 @@ from repro.util.stats import (
     percentile,
 )
 from repro.util.rngtools import spawn_rng, stable_seed
+from repro.util.timeutil import monotonic, perf_counter, wall_clock
 
 __all__ = [
     "ReproError",
@@ -45,4 +46,7 @@ __all__ = [
     "percentile",
     "spawn_rng",
     "stable_seed",
+    "monotonic",
+    "perf_counter",
+    "wall_clock",
 ]

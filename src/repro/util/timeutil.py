@@ -1,0 +1,36 @@
+"""The sanctioned wall-clock boundary.
+
+Everything under the DES takes time from the engine clock
+(``env.now()``); the handful of places that legitimately need the host
+clock — ``RealEnv``'s scheduler and the experiment drivers' elapsed-time
+reporting — go through this module.  The ``des-purity`` lint rule bans
+``time.*`` clock calls across the tree and whitelists exactly this
+module (``allowed-modules = ["repro.util.timeutil"]`` in
+``[tool.reprolint.rules.des-purity]``), so every wall-clock dependency
+is findable from one import site.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+__all__ = ["monotonic", "perf_counter", "wall_clock"]
+
+
+def monotonic() -> float:
+    """Host monotonic clock, for real-time scheduling (``RealEnv``)."""
+    return _time.monotonic()
+
+
+def perf_counter() -> float:
+    """Highest-resolution host clock, for elapsed-time measurement."""
+    return _time.perf_counter()
+
+
+def wall_clock() -> float:
+    """Host wall-clock epoch seconds, for human-facing timestamps only.
+
+    Never feed this into DES state: it is not monotonic and differs
+    across hosts.  Experiment drivers use it to stamp result files.
+    """
+    return _time.time()

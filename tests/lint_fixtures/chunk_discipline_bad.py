@@ -1,0 +1,9 @@
+"""BAD: raw buffer writes to set storage outside the MetricSet layer."""
+
+import struct
+
+
+def poke(mset, value):
+    struct.pack_into("<Q", mset._data, 24, value)
+    view = memoryview(mset._data)
+    return view

@@ -1,0 +1,8 @@
+"""GOOD: values go through the MetricSet API so the DGN advances."""
+
+
+def poke(mset, value):
+    mset.begin_transaction()
+    mset.set_value(0, value)
+    mset.end_transaction(1.0)
+    return mset.data_view()

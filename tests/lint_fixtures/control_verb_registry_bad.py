@@ -1,0 +1,15 @@
+"""BAD control-channel fixture.
+
+Supported commands::
+
+    load name=<plugin>
+"""
+
+
+class Channel:
+    def _cmd_load(self, attrs):
+        return "ok"
+
+    def _cmd_mystery(self, attrs):
+        """A verb missing from the module's command reference."""
+        return "?"

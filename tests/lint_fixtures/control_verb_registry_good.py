@@ -1,0 +1,17 @@
+"""GOOD control-channel fixture.
+
+Supported commands::
+
+    load name=<plugin>
+    quit
+"""
+
+
+class Channel:
+    def _cmd_load(self, attrs):
+        """``load name=<plugin>``: mark a plugin loadable."""
+        return "ok"
+
+    def _cmd_quit(self, attrs):
+        """``quit``: shut down."""
+        return "bye"

@@ -1,0 +1,13 @@
+"""BAD: wall clock and global RNG inside the deterministic world."""
+
+import random
+import time
+
+import numpy as np
+
+
+def next_sample_time(base):
+    t = time.time()
+    jitter = random.random()
+    noise = np.random.normal(0.0, 1.0)
+    return base + t + jitter + noise

@@ -1,0 +1,8 @@
+"""GOOD: engine clock + injected Generator (the sanctioned sources)."""
+
+from repro.util.rngtools import spawn_rng
+
+
+def next_sample_time(env, seed):
+    rng = spawn_rng(seed, "fixture")
+    return env.now() + rng.uniform(0.0, 1.0)

@@ -1,0 +1,6 @@
+"""BAD: shared mutable defaults alias state across plugin instances."""
+
+
+def config(instance, metrics=[], options={}, *, tags=set()):
+    metrics.append(instance)
+    return metrics, options, tags

@@ -1,0 +1,7 @@
+"""GOOD: None defaults, built fresh per call."""
+
+
+def config(instance, metrics=None, options=None, *, tags=()):
+    metrics = list(metrics or ())
+    metrics.append(instance)
+    return metrics, dict(options or {}), tags

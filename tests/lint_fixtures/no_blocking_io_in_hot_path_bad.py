@@ -1,0 +1,13 @@
+"""BAD: blocking I/O on the per-sample hot path."""
+
+import subprocess
+import time
+
+
+class Sampler:
+    def do_sample(self, now):
+        time.sleep(0.01)
+        out = subprocess.check_output(["cat", "/proc/meminfo"])
+        print(out)
+        with open("/proc/loadavg") as f:
+            return f.read()

@@ -1,0 +1,10 @@
+"""GOOD: file handles bound at config(), hot path reads through fs."""
+
+
+class Sampler:
+    def config(self, instance):
+        # config() is cold: opening here is fine.
+        self._path = "/proc/meminfo"
+
+    def do_sample(self, now):
+        return self.daemon.fs.read(self._path)

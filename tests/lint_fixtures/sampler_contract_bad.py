@@ -1,0 +1,15 @@
+"""BAD: per-sample name resolution and layout work in the sample body."""
+
+from repro.core.sampler import SamplerPlugin, register_sampler
+
+
+@register_sampler("fixture_bad")
+class BadSampler(SamplerPlugin):
+    def config(self, instance, component_id=0, **kwargs):
+        super().config(instance, component_id, **kwargs)
+
+    def do_sample(self, now):
+        row = {"m0": 1, "m1": 2}
+        self.set.set_value("m0", row["m0"])
+        i = self.set.index_of("m1")
+        self.set.set_value(i, getattr(self, "scale"))

@@ -1,0 +1,13 @@
+"""BAD: unbounded in-memory buffering with no flush path."""
+
+from repro.core.store import StorePlugin, register_store
+
+
+@register_store("fixture_bad")
+class BufferingStore(StorePlugin):
+    def config(self, **kwargs):
+        super().config(**kwargs)
+        self.rows = []
+
+    def store(self, record):
+        self.rows.append(record)

@@ -1,0 +1,17 @@
+"""GOOD: buffering store with an explicit flush path."""
+
+from repro.core.store import StorePlugin, register_store
+
+
+@register_store("fixture_good")
+class FlushingStore(StorePlugin):
+    def config(self, **kwargs):
+        super().config(**kwargs)
+        self.rows = []
+
+    def store(self, record):
+        self.rows.append(record)
+
+    def flush(self):
+        """Drain buffered rows to the backend."""
+        self.rows.clear()

@@ -1,0 +1,13 @@
+"""BAD: broad handlers that erase the failure entirely."""
+
+
+def fetch_all(producers):
+    for p in producers:
+        try:
+            p.update()
+        except Exception:
+            continue
+    try:
+        producers.close()
+    except:  # noqa: E722
+        pass

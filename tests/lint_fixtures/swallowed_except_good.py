@@ -1,0 +1,9 @@
+"""GOOD: narrow types, counted failures (paper §IV-E: count and bypass)."""
+
+
+def fetch_all(producers, err_counter):
+    for p in producers:
+        try:
+            p.update()
+        except TimeoutError:
+            err_counter.inc()

@@ -13,7 +13,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 import repro.plugins  # noqa: F401
-from repro.core import Ldmsd, SimEnv
+from repro.core import Ldmsd, SimEnv, sanitize
 from repro.core.memory import Arena
 from repro.core.metric import MetricDesc, MetricType
 from repro.core.metric_set import MetricSet, SchemaMismatch
@@ -145,8 +145,13 @@ class TestGenerationSemantics:
         torn = s.data_bytes()  # mid-transaction raw read via the bulk path
         s.end_transaction(2.0)
         mirror = MetricSet.from_meta(s.meta_bytes(), Arena(1 << 20))
-        mirror.apply_data(torn)
-        assert not mirror.is_consistent  # consumer must discard
+        if sanitize.mode() == "raise":
+            # Under REPRO_SANITIZE the torn install itself is flagged.
+            with pytest.raises(sanitize.SanitizerError):
+                mirror.apply_data(torn)
+        else:
+            mirror.apply_data(torn)
+            assert not mirror.is_consistent  # consumer must discard
         mirror.apply_data(s.data_bytes())
         assert mirror.is_consistent
         assert mirror.values() == [8, 9]

@@ -3,6 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.core import sanitize
 from repro.core.memory import Arena
 from repro.core.metric import MetricDesc, MetricType
 from repro.core.metric_set import MetricSet, SchemaMismatch
@@ -189,8 +190,13 @@ class TestMirroring:
         torn = src.data_bytes()  # mid-transaction raw read
         src.end_transaction(2.0)
         mirror = MetricSet.from_meta(src.meta_bytes(), Arena(1 << 20))
-        mirror.apply_data(torn)
-        assert not mirror.is_consistent  # consumer must discard
+        if sanitize.mode() == "raise":
+            # Under REPRO_SANITIZE the torn install itself is flagged.
+            with pytest.raises(sanitize.SanitizerError):
+                mirror.apply_data(torn)
+        else:
+            mirror.apply_data(torn)
+            assert not mirror.is_consistent  # consumer must discard
 
     def test_mgn_mismatch_raises(self, arena):
         src = make_set(arena)

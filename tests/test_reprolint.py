@@ -1,0 +1,269 @@
+"""Tests for the reprolint AST rule engine (repro.analysis.lint).
+
+Each rule is exercised against a good/bad fixture pair under
+``tests/lint_fixtures/``: the bad snippet must fire the rule, the good
+snippet must stay silent.  Engine behaviours (suppressions, config,
+reporters, exit codes, module scoping) are covered directly, and one
+self-host test asserts the shipped tree lints clean under the repo's
+own ``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    Engine,
+    LintConfig,
+    LintConfigError,
+    all_rules,
+)
+from repro.analysis.lint.cli import main as lint_main
+from repro.analysis.lint.engine import JSON_SCHEMA_VERSION
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+REPO_ROOT = Path(__file__).parent.parent
+
+#: rule id -> module name the fixture is linted as (must fall inside the
+#: rule's default package scope).
+FIXTURE_MODULES = {
+    "des-purity": "repro.core.fixture",
+    "sampler-contract": "repro.plugins.samplers.fixture",
+    "store-contract": "repro.plugins.stores.fixture",
+    "chunk-discipline": "repro.transport.fixture",
+    "swallowed-except": "repro.core.fixture",
+    "control-verb-registry": "repro.core.control",
+    "no-blocking-io-in-hot-path": "repro.plugins.samplers.fixture",
+    "mutable-default-arg": "repro.anywhere.fixture",
+}
+
+
+def lint_fixture(rule_id: str, kind: str):
+    """Lint one fixture file with only ``rule_id`` selected."""
+    fname = rule_id.replace("-", "_") + f"_{kind}.py"
+    source = (FIXTURES / fname).read_text()
+    engine = Engine(LintConfig(select=(rule_id,)))
+    return engine.lint_source(source, module=FIXTURE_MODULES[rule_id],
+                              path=fname)
+
+
+class TestFixturePairs:
+    @pytest.mark.parametrize("rule_id", sorted(FIXTURE_MODULES))
+    def test_bad_fixture_fires(self, rule_id):
+        report = lint_fixture(rule_id, "bad")
+        hits = [v for v in report.violations if v.rule == rule_id]
+        assert hits, f"{rule_id}: bad fixture produced no violations"
+        for v in hits:
+            assert v.line > 0
+            assert v.severity == "error"
+            assert v.message
+
+    @pytest.mark.parametrize("rule_id", sorted(FIXTURE_MODULES))
+    def test_good_fixture_silent(self, rule_id):
+        report = lint_fixture(rule_id, "good")
+        hits = [v for v in report.violations if v.rule == rule_id]
+        assert hits == [], f"{rule_id}: good fixture fired: {hits}"
+
+    def test_every_registered_rule_has_a_fixture_pair(self):
+        for rule_id in all_rules():
+            assert rule_id in FIXTURE_MODULES
+            base = rule_id.replace("-", "_")
+            assert (FIXTURES / f"{base}_bad.py").exists()
+            assert (FIXTURES / f"{base}_good.py").exists()
+
+
+class TestModuleScoping:
+    def test_rule_ignores_out_of_scope_module(self):
+        source = "import time\n\ndef f():\n    return time.time()\n"
+        engine = Engine(LintConfig(select=("des-purity",)))
+        report = engine.lint_source(source, module="scripts.helper")
+        assert report.violations == []
+
+    def test_allowed_module_is_exempt(self):
+        source = "import time\n\ndef f():\n    return time.time()\n"
+        cfg = LintConfig.from_table({
+            "select": ["des-purity"],
+            "rules": {"des-purity": {"allowed-modules": ["repro.util.timeutil"]}},
+        })
+        report = Engine(cfg).lint_source(source, module="repro.util.timeutil")
+        assert report.violations == []
+        report2 = Engine(cfg).lint_source(source, module="repro.util.other")
+        assert [v.rule for v in report2.violations] == ["des-purity"]
+
+    def test_module_name_mapping(self):
+        engine = Engine(LintConfig())
+        assert engine.module_name(
+            Path("src/repro/core/metric_set.py")) == "repro.core.metric_set"
+        assert engine.module_name(
+            Path("src/repro/analysis/lint/__init__.py")) == "repro.analysis.lint"
+
+    def test_import_alias_resolution(self):
+        # `from time import time as clock` must still resolve.
+        source = "from time import time as clock\n\ndef f():\n    return clock()\n"
+        engine = Engine(LintConfig(select=("des-purity",)))
+        report = engine.lint_source(source, module="repro.core.x")
+        assert [v.rule for v in report.violations] == ["des-purity"]
+
+
+class TestSuppressions:
+    SOURCE = (
+        "import time\n"
+        "\n"
+        "def f():\n"
+        "    return time.time()  # reprolint: ignore[des-purity] -- fixture timing\n"
+    )
+
+    def engine(self):
+        return Engine(LintConfig(select=("des-purity",)))
+
+    def test_justified_suppression_moves_to_suppressed(self):
+        report = self.engine().lint_source(self.SOURCE, module="repro.core.x")
+        assert report.violations == []
+        assert len(report.suppressed) == 1
+        s = report.suppressed[0]
+        assert s.rule == "des-purity"
+        assert s.suppressed
+        assert s.justification == "fixture timing"
+        assert report.exit_code == 0
+
+    def test_unjustified_suppression_is_a_violation(self):
+        src = self.SOURCE.replace(" -- fixture timing", "")
+        report = self.engine().lint_source(src, module="repro.core.x")
+        rules = sorted(v.rule for v in report.violations)
+        assert rules == ["suppression"]
+        # The des-purity hit itself is still suppressed (not doubled).
+        assert len(report.suppressed) == 1
+        assert report.exit_code == 1
+
+    def test_unknown_rule_id_is_a_violation(self):
+        src = self.SOURCE.replace("des-purity]", "no-such-rule]")
+        report = self.engine().lint_source(src, module="repro.core.x")
+        rules = sorted(v.rule for v in report.violations)
+        assert rules == ["des-purity", "suppression"]
+
+    def test_suppression_comment_inside_string_is_inert(self):
+        src = (
+            'DOC = "# reprolint: ignore[des-purity]"\n'
+            "import time\n"
+            "\n"
+            "def f():\n"
+            "    return time.time()\n"
+        )
+        report = self.engine().lint_source(src, module="repro.core.x")
+        assert [v.rule for v in report.violations] == ["des-purity"]
+        assert report.suppressed == []
+
+
+class TestConfig:
+    def test_unknown_rule_id_in_config_rejected(self):
+        with pytest.raises(LintConfigError):
+            LintConfig.from_table({"rules": {"nope": {}}})
+
+    def test_unknown_table_key_rejected(self):
+        with pytest.raises(LintConfigError):
+            LintConfig.from_table({"bogus": 1})
+
+    def test_unknown_rule_option_rejected(self):
+        cfg = LintConfig.from_table(
+            {"rules": {"des-purity": {"frobnicate": True}}})
+        with pytest.raises(LintConfigError):
+            Engine(cfg)
+
+    def test_bad_severity_rejected(self):
+        cfg = LintConfig.from_table(
+            {"rules": {"des-purity": {"severity": "fatal"}}})
+        with pytest.raises(LintConfigError):
+            Engine(cfg)
+
+    def test_severity_off_disables_rule(self):
+        cfg = LintConfig.from_table(
+            {"select": ["des-purity"],
+             "rules": {"des-purity": {"severity": "off"}}})
+        report = Engine(cfg).lint_source(
+            "import time\nx = time.time()\n", module="repro.core.x")
+        assert report.violations == []
+
+    def test_warning_severity_does_not_gate(self):
+        cfg = LintConfig.from_table(
+            {"select": ["des-purity"],
+             "rules": {"des-purity": {"severity": "warning"}}})
+        report = Engine(cfg).lint_source(
+            "import time\nx = time.time()\n", module="repro.core.x")
+        assert len(report.warnings) == 1
+        assert report.exit_code == 0
+
+    def test_select_unknown_rule_rejected(self):
+        with pytest.raises(LintConfigError):
+            Engine(LintConfig(select=("no-such-rule",)))
+
+
+class TestReporters:
+    def make_report(self):
+        return Engine(LintConfig(select=("des-purity",))).lint_source(
+            "import time\nx = time.time()\n",
+            module="repro.core.x", path="x.py")
+
+    def test_text_format(self):
+        text = self.make_report().render_text()
+        assert "x.py:2:" in text
+        assert "[des-purity]" in text
+        assert "1 errors" in text
+
+    def test_json_schema(self):
+        doc = json.loads(self.make_report().render_json())
+        assert doc["tool"] == "reprolint"
+        assert doc["version"] == JSON_SCHEMA_VERSION
+        assert doc["files_scanned"] == 1
+        assert doc["summary"] == {"errors": 1, "warnings": 0, "suppressed": 0}
+        assert doc["exit_code"] == 1
+        (v,) = doc["violations"]
+        assert set(v) == {"path", "line", "col", "rule", "severity", "message"}
+        assert v["rule"] == "des-purity"
+        assert v["line"] == 2
+
+    def test_parse_error_reported_not_raised(self):
+        report = Engine(LintConfig()).lint_source(
+            "def broken(:\n", module="repro.core.x")
+        assert [v.rule for v in report.violations] == ["parse-error"]
+        assert report.exit_code == 1
+
+
+class TestCli:
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in all_rules():
+            assert rule_id in out
+
+    def test_bad_select_exits_2(self, capsys):
+        assert lint_main(["--select", "no-such-rule", str(FIXTURES)]) == 2
+        assert "repro-lint" in capsys.readouterr().err
+
+    def test_missing_path_exits_2(self, capsys):
+        assert lint_main(["definitely_missing.txt"]) == 2
+
+    def test_json_output_on_fixture(self, capsys):
+        bad = str(FIXTURES / "mutable_default_arg_bad.py")
+        code = lint_main(["--format", "json",
+                          "--config", str(REPO_ROOT / "pyproject.toml"), bad])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert doc["summary"]["errors"] >= 1
+
+
+class TestSelfHost:
+    def test_shipped_tree_is_clean(self):
+        """`repro-lint src/` exits 0 on the repo, with zero suppressions."""
+        cfg = LintConfig.from_pyproject(REPO_ROOT / "pyproject.toml")
+        report = Engine(cfg).lint_paths([REPO_ROOT / "src"])
+        assert report.files, "no files linted — wrong repo root?"
+        problems = [v.format() for v in report.violations]
+        assert problems == []
+        # Acceptance: the tree ships without blanket mutes; any per-line
+        # suppression must carry a justification (else it is an error,
+        # which the empty violations list above already rules out).
+        for s in report.suppressed:
+            assert s.justification
