@@ -22,6 +22,7 @@ DES_PACKAGES = (
     "repro.plugins",
     "repro.transport",
     "repro.experiments",
+    "repro.faults",
     "repro.util",
 )
 

@@ -19,6 +19,7 @@ from typing import Optional
 from repro.cluster.node import Node
 from repro.core.env import SimEnv
 from repro.core.ldmsd import Ldmsd
+from repro.faults import FaultInjector, Watchdog
 from repro.network.fattree import FatTree
 from repro.network.torus import GeminiTorus
 from repro.network.traffic import FlowEngine
@@ -41,6 +42,10 @@ class LdmsDeployment:
     level1: list[Ldmsd] = field(default_factory=list)
     level2: Optional[Ldmsd] = None
     stores: list[object] = field(default_factory=list)
+    #: Failover wiring of the standby config: primary aggregator name ->
+    #: (name of the aggregator holding its standbys, standby producer
+    #: names on that owner).  Empty unless deployed with standby=True.
+    standby_plan: dict[str, tuple[str, tuple[str, ...]]] = field(default_factory=dict)
 
     @property
     def store(self):
@@ -54,6 +59,12 @@ class LdmsDeployment:
         if self.level2 is not None:
             out.append(self.level2)
         return out
+
+    def by_name(self, name: str) -> Ldmsd:
+        for d in self.all_daemons():
+            if d.name == name:
+                return d
+        raise ConfigError(f"no daemon named {name!r} in deployment")
 
     def shutdown(self) -> None:
         for d in self.all_daemons():
@@ -259,9 +270,16 @@ class Machine:
             if standby and n_agg > 1:
                 nxt = (a + 1) % n_agg
                 lo2, hi2 = nxt * fanin, min((nxt + 1) * fanin, len(self.nodes))
+                names = []
                 for i in range(lo2, hi2):
                     agg.add_producer(f"standby-n{i}", xprt, f"n{i}:411",
                                      interval=collect_interval, standby=True)
+                    names.append(f"standby-n{i}")
+                # agg `a` covers for agg `nxt`: record the wiring so a
+                # watchdog can be attached without re-deriving the
+                # group arithmetic.
+                dep.standby_plan[f"{self.name}-agg{nxt}"] = (
+                    f"{self.name}-agg{a}", tuple(names))
             agg.listen("sock", f"svc{a}:411")
             dep.level1.append(agg)
 
@@ -280,6 +298,45 @@ class Machine:
             for agg in dep.level1:
                 dep.stores.append(agg.add_store(store, **store_kwargs))
         return dep
+
+    # ------------------------------------------------------------------
+    # resilience plumbing
+    # ------------------------------------------------------------------
+    def attach_watchdog(
+        self,
+        dep: LdmsDeployment,
+        check_interval: Optional[float] = None,
+        k: int = 3,
+    ) -> Watchdog:
+        """Stand up the §IV-B external watchdog over a standby
+        deployment: every primary aggregator in ``dep.standby_plan`` is
+        watched, and its standby producers (held by the neighbouring
+        aggregator) are promoted when it stalls for ``k`` checks.
+        ``check_interval`` defaults to the primaries' collection
+        interval; the watchdog is started before being returned.
+        """
+        if not dep.standby_plan:
+            raise ConfigError(
+                "deployment has no standby plan (deploy_ldms(standby=True))"
+            )
+        if check_interval is None:
+            primary = dep.by_name(next(iter(dep.standby_plan)))
+            check_interval = max(
+                p.cfg.interval for p in primary.producers.values()
+            )
+        wd = Watchdog(self.env, check_interval=check_interval, k=k)
+        for primary_name, (owner_name, names) in dep.standby_plan.items():
+            wd.watch_aggregator(dep.by_name(primary_name),
+                                dep.by_name(owner_name), names)
+        wd.start()
+        return wd
+
+    def fault_injector(self, dep: LdmsDeployment, restart=None) -> FaultInjector:
+        """An injector wired to this machine's fabric and ``dep``'s
+        daemons, ready to ``arm()`` a :class:`~repro.faults.FaultPlan`."""
+        daemons = {d.name: d for d in dep.all_daemons()}
+        return FaultInjector(self.env, daemons=daemons, fabric=self.fabric,
+                             restart=restart)
 
     def default_plugins(self) -> list[tuple[str, dict]]:
         if isinstance(self.network, GeminiTorus):

@@ -31,7 +31,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.core import wire
 from repro.core.metric_set import MetricSet, SchemaMismatch, SetInfo
 from repro.transport.base import Endpoint
-from repro.util.errors import OutOfMemory
+from repro.util.errors import OutOfMemory, StoreError
 from repro.util.rngtools import stable_seed
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -59,7 +59,21 @@ class ProducerConfig:
     sets: tuple[str, ...] = ()
     offset: Optional[float] = None
     standby: bool = False
+    #: Base reconnect delay; consecutive failures back off exponentially
+    #: (deterministically jittered) up to ``reconnect_max``, resetting on
+    #: a successful connect — a dead target costs one attempt per
+    #: ``reconnect_max`` instead of hammering every 2 s forever.
     reconnect_interval: float = 2.0
+    reconnect_max: float = 60.0
+    #: Seconds a lookup may stay unanswered before the updater falls
+    #: back to ``NEW`` and retries (a lost LOOKUP_REPLY otherwise wedges
+    #: the set in ``LOOKUP_PENDING`` forever).  ``None`` = twice the
+    #: collection interval.
+    lookup_timeout: Optional[float] = None
+    #: For discovery-mode producers (``sets=()``): re-issue DIR_REQ
+    #: every this many ticks so sets deleted on the target are pruned
+    #: from the mirror table.  0 disables refresh.
+    dir_refresh: int = 5
     #: Passive producers don't dial out; the sampler connects to the
     #: aggregator and advertises itself (asymmetric network access,
     #: §IV-B: "mechanisms to enable initiation of a connection from
@@ -77,6 +91,8 @@ class SetState(enum.Enum):
 class UpdateStats:
     lookups_sent: int = 0
     lookups_failed: int = 0
+    lookups_timed_out: int = 0  # reply never arrived; updater reset to NEW
+    sets_pruned: int = 0  # sets dropped because DIR no longer lists them
     updates_issued: int = 0
     updates_completed: int = 0
     updates_failed: int = 0
@@ -120,6 +136,8 @@ class Producer:
         self.stats = UpdateStats()
         self._timer = None
         self._reconnect_handle = None
+        self._reconnect_attempts = 0
+        self._ticks_since_dir = 0
         self._next_req_id = 1
         #: req_id -> (set name, send time) of in-flight lookups
         self._pending_lookups: dict[int, tuple[str, float]] = {}
@@ -231,6 +249,7 @@ class Producer:
             if endpoint is None:
                 self._schedule_reconnect()
                 return
+            self._reconnect_attempts = 0
             self.endpoint = endpoint
             endpoint.obs = self.daemon.obs
             endpoint.on_message = self._on_message_locked
@@ -252,17 +271,33 @@ class Producer:
                 # Passive producers wait for the sampler to re-advertise.
                 self._schedule_reconnect()
 
+    def _reconnect_delay(self) -> float:
+        """Delay before the next connect attempt.
+
+        Capped exponential backoff with deterministic decorrelating
+        jitter: attempt ``n`` waits up to ``base * 2**n`` (capped at
+        ``reconnect_max``), shaved by up to 25% by a jitter derived from
+        the producer name and attempt number — stable across runs (DES
+        determinism) yet different across producers, so a mass
+        disconnect does not retry in lockstep.
+        """
+        cfg = self.cfg
+        raw = min(cfg.reconnect_interval * (2.0 ** min(self._reconnect_attempts, 20)),
+                  cfg.reconnect_max)
+        j = (stable_seed("reconnect", cfg.name, self._reconnect_attempts) % 1000) / 1000.0
+        return raw * (1.0 - 0.25 * j)
+
     def _schedule_reconnect(self) -> None:
         if self.stopped or self._reconnect_handle is not None:
             return
+        delay = self._reconnect_delay()
+        self._reconnect_attempts += 1
 
         def retry() -> None:
             self._reconnect_handle = None
             self._connect()
 
-        self._reconnect_handle = self.daemon.env.call_later(
-            self.cfg.reconnect_interval, retry
-        )
+        self._reconnect_handle = self.daemon.env.call_later(delay, retry)
 
     def _drop_mirrors(self) -> None:
         for upd in self.updaters.values():
@@ -297,10 +332,18 @@ class Producer:
         frame = wire.decode_frame(raw)
         if frame.msg_type == wire.MsgType.DIR_REPLY:
             infos = wire.unpack_dir_reply(frame.payload)
+            listed = {info.name for info in infos}
             for info in infos:
                 if info.name not in self.updaters:
                     self.updaters[info.name] = UpdaterState(info.name)
                     self._send_lookup(info.name)
+            if not self.cfg.sets:
+                # Discovery mode: the directory is authoritative, so a
+                # set it no longer lists was deleted on the target —
+                # drop its updater and mirror instead of polling a dead
+                # region forever.
+                for name in [n for n in self.updaters if n not in listed]:
+                    self._drop_updater(name)
         elif frame.msg_type == wire.MsgType.LOOKUP_REPLY:
             pending = self._pending_lookups.pop(frame.request_id, None)
             if pending is None:
@@ -336,6 +379,42 @@ class Producer:
             upd.last_dgn = None
             self.daemon._on_lookup_complete(self, upd)
 
+    def _drop_updater(self, name: str) -> None:
+        """Remove one collection target set (pruned from DIR)."""
+        upd = self.updaters.pop(name, None)
+        if upd is None:
+            return
+        for rid in [r for r, (n, _t) in self._pending_lookups.items() if n == name]:
+            del self._pending_lookups[rid]
+        if upd.mirror is not None:
+            self.daemon._unregister_mirror(upd.mirror)
+            upd.mirror.delete()
+            upd.mirror = None
+        self.stats.sets_pruned += 1
+
+    def _expire_lookups(self) -> None:
+        """Fail lookups whose reply never arrived.
+
+        A LOOKUP_REPLY lost on the wire otherwise leaves the updater in
+        ``LOOKUP_PENDING`` forever — ``_tick`` only re-looks-up ``NEW``
+        sets.  Expiry resets the updater so the next loop retries, per
+        Fig. 2's "keep performing lookup in the next update loop".
+        """
+        timeout = self.cfg.lookup_timeout
+        if timeout is None:
+            timeout = 2.0 * self.cfg.interval
+        if timeout <= 0:
+            return
+        now = self.daemon.env.now()
+        expired = [rid for rid, (_n, t_sent) in self._pending_lookups.items()
+                   if now - t_sent >= timeout]
+        for rid in expired:
+            set_name, _t_sent = self._pending_lookups.pop(rid)
+            self.stats.lookups_timed_out += 1
+            upd = self.updaters.get(set_name)
+            if upd is not None and upd.state is SetState.LOOKUP_PENDING:
+                upd.state = SetState.NEW
+
     # ------------------------------------------------------------------
     # the update loop
     # ------------------------------------------------------------------
@@ -344,17 +423,31 @@ class Producer:
             if self.stopped:
                 return
             if not self.connected:
-                if not self.cfg.passive:
+                # Reconnection is the backoff schedule's job; kicking a
+                # connect from every tick would defeat it.  Only fire
+                # when no retry is pending (e.g. first tick after a
+                # passive attach lost its endpoint before backoff armed).
+                if (not self.cfg.passive and self._reconnect_handle is None
+                        and not self.connecting):
                     self._connect()
                 return
+            self._expire_lookups()
             if not self.active:
                 return
             if not self.updaters and self.endpoint is not None:
                 # Discovery found nothing yet (e.g. the target is an
                 # aggregator whose own lookups had not completed when we
                 # connected): retry the directory query.
+                self._ticks_since_dir = 0
                 self.endpoint.send(wire.encode_frame(wire.MsgType.DIR_REQ, 0))
                 return
+            if not self.cfg.sets and self.cfg.dir_refresh > 0:
+                self._ticks_since_dir += 1
+                if self._ticks_since_dir >= self.cfg.dir_refresh and self.endpoint is not None:
+                    # Periodic directory refresh keeps discovery-mode
+                    # producers in sync with set deletion on the target.
+                    self._ticks_since_dir = 0
+                    self.endpoint.send(wire.encode_frame(wire.MsgType.DIR_REQ, 0))
             for upd in list(self.updaters.values()):
                 if upd.state is SetState.NEW:
                     self._send_lookup(upd.set_name)
@@ -444,8 +537,16 @@ class Producer:
                 return
             upd.mirror.apply_data(data)
             upd.last_dgn = dgn
-            self.stats.stored += 1
             if trace is not None:
                 trace.sample_ts = upd.mirror.timestamp
-            self.daemon._deliver_to_stores(self, upd.mirror, trace)
+            # `stored` counts records actually handed to the store
+            # layer; incrementing before delivery over-reported when
+            # the hand-off itself failed.
+            try:
+                self.daemon._deliver_to_stores(self, upd.mirror, trace)
+            except StoreError:
+                self.daemon._c_store_errors.inc()
+                tracer.finish(trace, "store_error")
+                return
+            self.stats.stored += 1
             tracer.finish(trace, "stored")

@@ -37,6 +37,7 @@ from repro.obs import Telemetry, Tracer
 from repro.sim.resources import CpuCore
 from repro.transport.base import Endpoint, Listener, Transport
 from repro.util.errors import ConfigError, OutOfMemory, StoreError
+from repro.util.rngtools import stable_seed
 from repro.util.units import parse_size
 
 __all__ = ["Ldmsd"]
@@ -161,6 +162,9 @@ class Ldmsd:
         self.stores: list[StorePlugin] = []
         self._listeners: list[Listener] = []
         self._served_endpoints: list[Endpoint] = []
+        #: advertisement name -> mutable state shared with its retry
+        #: loop ({"stopped", "attempts", "endpoint"}).
+        self._advertisements: dict[str, dict] = {}
         self.records_delivered = 0
         self._shutdown = False
 
@@ -326,7 +330,15 @@ class Ldmsd:
     def _on_peer_connect(self, endpoint: Endpoint) -> None:
         endpoint.obs = self.obs
         endpoint.on_message = lambda raw: self._serve(endpoint, raw)
+        # Prune on close, or served endpoints accumulate forever on a
+        # long-lived daemon whose peers churn.
+        endpoint.on_close = lambda: self._drop_served(endpoint)
         self._served_endpoints.append(endpoint)
+
+    def _drop_served(self, endpoint: Endpoint) -> None:
+        with self.lock:
+            if endpoint in self._served_endpoints:
+                self._served_endpoints.remove(endpoint)
 
     def _serve(self, endpoint: Endpoint, raw: bytes) -> None:
         with self.lock:
@@ -410,6 +422,9 @@ class Ldmsd:
         offset: Optional[float] = None,
         standby: bool = False,
         reconnect_interval: float = 2.0,
+        reconnect_max: float = 60.0,
+        lookup_timeout: Optional[float] = None,
+        dir_refresh: int = 5,
         passive: bool = False,
     ) -> Producer:
         """Add a collection target.
@@ -437,6 +452,9 @@ class Ldmsd:
                 offset=offset,
                 standby=standby,
                 reconnect_interval=reconnect_interval,
+                reconnect_max=reconnect_max,
+                lookup_timeout=lookup_timeout,
+                dir_refresh=dir_refresh,
                 passive=passive,
             )
             prod = Producer(self, cfg)
@@ -450,17 +468,39 @@ class Ldmsd:
         addr,
         name: Optional[str] = None,
         reconnect_interval: float = 2.0,
-    ) -> None:
+        reconnect_max: float = 60.0,
+    ) -> str:
         """Sampler side of passive mode: connect to an aggregator,
         announce this daemon by name, and serve the pull protocol on
-        that connection.  Re-advertises with backoff if the connection
-        drops."""
+        that connection.  Reconnects with capped, deterministically
+        jittered exponential backoff while the aggregator is away;
+        :meth:`stop_advertise` (or :meth:`shutdown`) retires the loop
+        and closes the advertised endpoint.  Returns the advertised
+        name, the handle ``stop_advertise`` takes."""
         adv_name = name or self.name
         transport = self._transport(xprt)
-        state = {"stopped": False}
+        with self.lock:
+            if adv_name in self._advertisements:
+                raise ConfigError(f"already advertising as {adv_name!r}")
+            state: dict = {"stopped": False, "attempts": 0, "endpoint": None}
+            self._advertisements[adv_name] = state
 
-        def attempt() -> None:
-            transport.connect(addr, on_connected)
+        def retry() -> None:
+            # Same backoff shape as Producer._reconnect_delay, keyed to
+            # the advertised name so a fleet of samplers that lost one
+            # aggregator does not redial in lockstep.
+            raw = min(reconnect_interval * (2.0 ** min(state["attempts"], 20)),
+                      reconnect_max)
+            j = (stable_seed("advertise", adv_name, state["attempts"]) % 1000) / 1000.0
+            state["attempts"] += 1
+            self.env.call_later(raw * (1.0 - 0.25 * j), schedule)
+
+        def on_closed(endpoint: Endpoint) -> None:
+            with self.lock:
+                state["endpoint"] = None
+                self._drop_served(endpoint)
+                if not (self._shutdown or state["stopped"]):
+                    retry()
 
         def on_connected(endpoint: Optional[Endpoint]) -> None:
             with self.lock:
@@ -469,25 +509,43 @@ class Ldmsd:
                         endpoint.close()
                     return
                 if endpoint is None:
-                    self.env.call_later(reconnect_interval, schedule)
+                    retry()
                     return
+                state["attempts"] = 0
+                state["endpoint"] = endpoint
                 endpoint.obs = self.obs
                 endpoint.on_message = lambda raw: self._serve(endpoint, raw)
-                endpoint.on_close = lambda: (
-                    self._shutdown or self.env.call_later(reconnect_interval,
-                                                          schedule)
-                )
+                endpoint.on_close = lambda: on_closed(endpoint)
                 self._served_endpoints.append(endpoint)
                 endpoint.send(
                     wire.encode_frame(wire.MsgType.ADVERTISE, 0,
                                       wire.pack_advertise(adv_name))
                 )
 
+        def attempt() -> None:
+            transport.connect(addr, on_connected)
+
         def schedule() -> None:
+            if self._shutdown or state["stopped"]:
+                return
             self.conn_pool.submit(attempt, cost=self.connect_cpu_cost,
                                   core=self.core, tag="advertise")
 
         schedule()
+        return adv_name
+
+    def stop_advertise(self, name: Optional[str] = None) -> None:
+        """Retire an advertisement: no further reconnect attempts, and
+        the advertised endpoint (if up) is closed and pruned."""
+        adv_name = name or self.name
+        with self.lock:
+            state = self._advertisements.pop(adv_name, None)
+            if state is None:
+                raise ConfigError(f"not advertising as {adv_name!r}")
+            state["stopped"] = True
+            endpoint = state["endpoint"]
+        if endpoint is not None and not endpoint.closed:
+            endpoint.close()
 
     def remove_producer(self, name: str) -> None:
         with self.lock:
@@ -632,9 +690,13 @@ class Ldmsd:
             for prod in list(self.producers.values()):
                 prod.stop()
             self.producers.clear()
+            for state in self._advertisements.values():
+                state["stopped"] = True
+            self._advertisements.clear()
             for lst in self._listeners:
                 lst.close()
-            for ep in self._served_endpoints:
+            # on_close handlers prune the served list; iterate a copy.
+            for ep in list(self._served_endpoints):
                 if not ep.closed:
                     ep.close()
             for store in self.stores:

@@ -113,6 +113,9 @@ class StorePlugin:
         self.records_dropped = 0
         self.last_error: Optional[str] = None
         self.configured = False
+        #: Fault-injection switch (``store_fail`` events): while set,
+        #: every write raises as if the backend were down.
+        self.fail_writes = False
 
     def config(self, **kwargs) -> None:
         self.configured = True
@@ -132,6 +135,10 @@ class StorePlugin:
         if not self.wants(record):
             self.records_dropped += 1
             return
+        if self.fail_writes:
+            self.records_failed += 1
+            self.last_error = "injected write failure"
+            raise StoreError(f"{self.plugin_name}: injected write failure")
         try:
             self.store(self.policy.project(record))
         except Exception as exc:

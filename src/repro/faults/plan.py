@@ -1,0 +1,176 @@
+"""Declarative fault schedules.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultEvent` records,
+each naming a kind, a simulation time, a target, and (for transient
+faults) a duration.  Plans are pure data: building one performs no
+injection, so the same plan can be armed against several topologies or
+replayed across runs.  :meth:`FaultPlan.random` draws a seeded plan
+from a topology description — the fixed-seed smoke schedule CI runs
+under the sanitizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.util.errors import ConfigError
+from repro.util.rngtools import spawn_rng
+
+__all__ = ["FaultEvent", "FaultPlan", "KINDS"]
+
+#: Every event kind an injector understands.
+KINDS = (
+    "crash",        # target: (daemon,)            — hard-stop the daemon
+    "restart",      # target: (daemon,)            — bring it back (needs restart fn)
+    "link_down",    # target: (node_a, node_b)     — drop all traffic both ways
+    "link_up",      # target: (node_a, node_b)
+    "slow_link",    # target: (node_a, node_b)     — add extra_latency per message
+    "link_normal",  # target: (node_a, node_b)
+    "partition",    # target: (group_a, group_b)   — block every cross pair
+    "heal",         # target: (group_a, group_b)
+    "drop_frames",  # target: (src, dst)           — drop next `count` matching frames
+    "store_fail",   # target: (daemon,)            — store backends raise on write
+    "store_heal",   # target: (daemon,)
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.  ``target`` semantics depend on ``kind``."""
+
+    at: float
+    kind: str
+    target: tuple = ()
+    extra_latency: float = 0.0
+    msg_type: Optional[int] = None
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigError(f"unknown fault kind {self.kind!r}; know {KINDS}")
+        if self.at < 0:
+            raise ConfigError(f"fault time {self.at} is negative")
+
+    def describe(self) -> str:
+        tgt = "/".join(str(t) for t in self.target)
+        return f"{self.kind}({tgt})"
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of faults.
+
+    Builder methods append events; transient faults (``duration`` set)
+    append the matching recovery event automatically.  ``events`` stays
+    sorted by time with insertion order breaking ties, mirroring the
+    engine's FIFO-at-equal-times rule.
+    """
+
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def _add(self, ev: FaultEvent) -> "FaultPlan":
+        self.events.append(ev)
+        self.events.sort(key=lambda e: e.at)
+        return self
+
+    # -- daemon faults -----------------------------------------------------
+    def crash(self, daemon: str, at: float,
+              restart_after: Optional[float] = None) -> "FaultPlan":
+        """Hard-stop ``daemon`` at ``at``; optionally restart it later
+        (the injector must then be given a ``restart`` factory)."""
+        self._add(FaultEvent(at=at, kind="crash", target=(daemon,)))
+        if restart_after is not None:
+            self._add(FaultEvent(at=at + restart_after, kind="restart",
+                                 target=(daemon,)))
+        return self
+
+    def store_failure(self, daemon: str, at: float,
+                      duration: Optional[float] = None) -> "FaultPlan":
+        """Make every store backend on ``daemon`` fail writes."""
+        self._add(FaultEvent(at=at, kind="store_fail", target=(daemon,)))
+        if duration is not None:
+            self._add(FaultEvent(at=at + duration, kind="store_heal",
+                                 target=(daemon,)))
+        return self
+
+    # -- link faults -------------------------------------------------------
+    def link_down(self, a, b, at: float,
+                  duration: Optional[float] = None) -> "FaultPlan":
+        """Black-hole all traffic between fabric nodes ``a`` and ``b``."""
+        self._add(FaultEvent(at=at, kind="link_down", target=(a, b)))
+        if duration is not None:
+            self._add(FaultEvent(at=at + duration, kind="link_up", target=(a, b)))
+        return self
+
+    def slow_link(self, a, b, at: float, extra_latency: float,
+                  duration: Optional[float] = None) -> "FaultPlan":
+        """Add ``extra_latency`` seconds to every message on the link."""
+        self._add(FaultEvent(at=at, kind="slow_link", target=(a, b),
+                             extra_latency=extra_latency))
+        if duration is not None:
+            self._add(FaultEvent(at=at + duration, kind="link_normal",
+                                 target=(a, b)))
+        return self
+
+    def partition(self, group_a: Sequence, group_b: Sequence, at: float,
+                  duration: Optional[float] = None) -> "FaultPlan":
+        """Split the fabric into two halves that cannot talk."""
+        self._add(FaultEvent(at=at, kind="partition",
+                             target=(tuple(group_a), tuple(group_b))))
+        if duration is not None:
+            self._add(FaultEvent(at=at + duration, kind="heal",
+                                 target=(tuple(group_a), tuple(group_b))))
+        return self
+
+    def drop_frames(self, src, dst, at: float, msg_type: Optional[int] = None,
+                    count: int = 1) -> "FaultPlan":
+        """Drop the next ``count`` frames from ``src`` to ``dst``
+        (optionally only frames of ``msg_type``) — the lost-reply fault
+        that exposed the LOOKUP_PENDING wedge."""
+        return self._add(FaultEvent(at=at, kind="drop_frames", target=(src, dst),
+                                    msg_type=msg_type, count=count))
+
+    # -- generated plans ---------------------------------------------------
+    @classmethod
+    def random(cls, seed: int, *, daemons: Sequence[str] = (),
+               links: Sequence[tuple] = (), stores: Sequence[str] = (),
+               t0: float = 0.0, t1: float = 60.0, n_events: int = 6,
+               mean_duration: float = 5.0) -> "FaultPlan":
+        """Draw a seeded random plan against a topology description.
+
+        ``daemons`` are crash candidates (crashes are permanent — pass
+        ``daemons=()`` for a plan that fully heals), ``links`` are
+        fabric node-id pairs, ``stores`` are daemons whose store
+        backends may fail; link and store faults always heal.  Same
+        seed, same plan.
+        """
+        rng = spawn_rng(seed, "fault-plan")
+        kinds: list[str] = []
+        if links:
+            kinds += ["link_down", "slow_link"]
+        if stores:
+            kinds += ["store_fail"]
+        if daemons:
+            kinds += ["crash"]
+        if not kinds:
+            raise ConfigError("random plan needs daemons, links, or stores")
+        plan = cls()
+        for _ in range(n_events):
+            kind = kinds[int(rng.integers(len(kinds)))]
+            at = float(rng.uniform(t0, t1))
+            dur = float(rng.exponential(mean_duration)) + 0.5
+            if kind == "crash":
+                name = daemons[int(rng.integers(len(daemons)))]
+                plan.crash(name, at)
+            elif kind == "link_down":
+                a, b = links[int(rng.integers(len(links)))]
+                plan.link_down(a, b, at, duration=dur)
+            elif kind == "slow_link":
+                a, b = links[int(rng.integers(len(links)))]
+                plan.slow_link(a, b, at, float(rng.uniform(1e-4, 5e-3)),
+                               duration=dur)
+            else:
+                name = stores[int(rng.integers(len(stores)))]
+                plan.store_failure(name, at, duration=dur)
+        return plan

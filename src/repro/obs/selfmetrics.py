@@ -47,6 +47,8 @@ _COUNTER_NAMES = (
     "samples",
     "lookups_sent",
     "lookups_failed",
+    "lookups_timed_out",
+    "sets_pruned",
     "updates_issued",
     "updates_completed",
     "updates_failed",
@@ -61,6 +63,8 @@ _COUNTER_NAMES = (
     "store_dropped",
     "set_create_failed",
     "sanitizer_violations",
+    "watchdog_promotions",
+    "faults_injected",
 )
 
 
@@ -105,6 +109,8 @@ def collect(daemon: "Ldmsd") -> list[int]:
         sum(p.samples_taken for p in daemon._plugins.values()),
         psum("lookups_sent"),
         psum("lookups_failed"),
+        psum("lookups_timed_out"),
+        psum("sets_pruned"),
         psum("updates_issued"),
         psum("updates_completed"),
         psum("updates_failed"),
@@ -119,6 +125,8 @@ def collect(daemon: "Ldmsd") -> list[int]:
         sum(s.records_dropped for s in daemon.stores),
         daemon.obs.counter("set.create_failed").value,
         daemon.obs.counter("sanitizer.violations").value,
+        daemon.obs.counter("watchdog.promotions").value,
+        daemon.obs.counter("faults.injected").value,
     ]
     for _, hname in _HISTOGRAMS:
         h = daemon.obs.histogram(hname)
@@ -148,7 +156,8 @@ def render(values: dict[str, int | float], indent: str = "    ") -> str:
         f"producers={v['producers']} stores={v['stores']} "
         f"arena={v['arena_used']}/{v['arena_size']}B (peak {v['arena_peak']})",
         f"sampling : {v['samples']} samples, {lat('sample')}",
-        f"lookups  : sent={v['lookups_sent']} failed={v['lookups_failed']}, "
+        f"lookups  : sent={v['lookups_sent']} failed={v['lookups_failed']} "
+        f"timed_out={v['lookups_timed_out']} pruned={v['sets_pruned']}, "
         f"rtt {lat('lookup')}",
         f"updates  : issued={v['updates_issued']} "
         f"completed={v['updates_completed']} failed={v['updates_failed']} "
@@ -159,5 +168,7 @@ def render(values: dict[str, int | float], indent: str = "    ") -> str:
         f"stored={v['records_stored']} errors={v['store_errors']} "
         f"dropped={v['store_dropped']}, flush {lat('store_flush')}",
         f"end2end  : sample->store {lat('sample_to_store')}",
+        f"faults   : injected={v['faults_injected']} "
+        f"promotions={v['watchdog_promotions']}",
     ]
     return "\n".join(indent + line for line in lines)

@@ -33,6 +33,7 @@ TRACE_STATUSES = (
     "torn",          # consistent flag clear (fetch inside a transaction)
     "failed",        # transport returned no data / malformed fetch
     "schema_refresh",  # MGN mismatch forced a re-lookup
+    "store_error",   # store layer refused the record at hand-off
 )
 
 

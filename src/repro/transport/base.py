@@ -137,6 +137,12 @@ class Endpoint:
     def __init__(self) -> None:
         self.on_message: Optional[Callable[[bytes], None]] = None
         self.on_close: Optional[Callable[[], None]] = None
+        #: Receiver-side fault hook: when set, each inbound frame is
+        #: offered to the filter before delivery and silently discarded
+        #: if it returns True — a transport-agnostic injection point
+        #: (the simulated fabric additionally models link-level faults).
+        self.drop_filter: Optional[Callable[[bytes], bool]] = None
+        self.frames_dropped = 0
         self.bytes_sent = 0
         self.bytes_received = 0
         self.rdma_bytes_read = 0
@@ -206,6 +212,11 @@ class Endpoint:
 
     # -- plumbing ----------------------------------------------------------
     def _deliver(self, frame: bytes) -> None:
+        if self.drop_filter is not None and self.drop_filter(frame):
+            # Dropped before delivery: the frame vanished on the wire,
+            # so receive-side accounting never sees it.
+            self.frames_dropped += 1
+            return
         self.bytes_received += len(frame)
         self._inc_frames_rx()
         self._inc_bytes_rx(len(frame))

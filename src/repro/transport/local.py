@@ -72,6 +72,11 @@ class LocalTransport(Transport):
 
     def __init__(self) -> None:
         self._listeners: dict[object, _LocalListener] = {}
+        #: Fault hook: refuse this many upcoming connect() calls (the
+        #: loopback analogue of a connect timeout) — lets tests drive
+        #: the reconnect/backoff path without a simulated fabric.
+        self.fail_next_connects = 0
+        self.refused_connections = 0
 
     def listen(self, addr, on_connect) -> Listener:
         if addr in self._listeners:
@@ -81,6 +86,11 @@ class LocalTransport(Transport):
         return lst
 
     def connect(self, addr, on_connected: Callable[[Optional[Endpoint]], None]) -> None:
+        if self.fail_next_connects > 0:
+            self.fail_next_connects -= 1
+            self.refused_connections += 1
+            on_connected(None)
+            return
         lst = self._listeners.get(addr)
         if lst is None:
             on_connected(None)

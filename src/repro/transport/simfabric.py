@@ -32,12 +32,76 @@ from repro.transport.base import (
 )
 from repro.util.errors import TransportError
 
-__all__ = ["SimFabric", "SimTransport"]
+__all__ = ["SimFabric", "SimTransport", "FabricFaults"]
 
 #: latency_fn(src_node_id, dst_node_id, nbytes) -> extra seconds
 LatencyFn = Callable[[object, object, int], float]
 #: traffic_cb(src_node_id, dst_node_id, nbytes, time)
 TrafficCb = Callable[[object, object, int, float], None]
+
+
+class FabricFaults:
+    """Link-level fault state consulted by simulated endpoints.
+
+    Injected by :class:`repro.faults.FaultInjector` (or directly by
+    tests): blocked links black-hole frames and fail one-sided reads,
+    ``extra_latency`` slows a link, and frame filters drop individual
+    frames (e.g. one LOOKUP_REPLY).  Links are undirected for
+    block/slow state; filters see the direction of each frame.  All
+    state changes take effect at the simulation instant they are made —
+    the injector schedules them on the engine clock.
+    """
+
+    def __init__(self) -> None:
+        self._down: set[frozenset] = set()
+        self._slow: dict[frozenset, float] = {}
+        #: fn(src, dst, frame) -> True to drop.  Filters run in
+        #: registration order; the first hit wins.
+        self._filters: list = []
+        self.frames_dropped = 0
+        self.reads_failed = 0
+
+    @property
+    def active(self) -> bool:
+        return bool(self._down or self._slow or self._filters)
+
+    @staticmethod
+    def _key(a, b) -> frozenset:
+        return frozenset((a, b))
+
+    def block(self, a, b) -> None:
+        self._down.add(self._key(a, b))
+
+    def unblock(self, a, b) -> None:
+        self._down.discard(self._key(a, b))
+
+    def blocked(self, a, b) -> bool:
+        return self._key(a, b) in self._down
+
+    def set_latency(self, a, b, extra: float) -> None:
+        self._slow[self._key(a, b)] = max(extra, 0.0)
+
+    def clear_latency(self, a, b) -> None:
+        self._slow.pop(self._key(a, b), None)
+
+    def extra_latency(self, a, b) -> float:
+        return self._slow.get(self._key(a, b), 0.0)
+
+    def add_filter(self, fn) -> None:
+        self._filters.append(fn)
+
+    def remove_filter(self, fn) -> None:
+        if fn in self._filters:
+            self._filters.remove(fn)
+
+    def drops_frame(self, src, dst, frame: bytes) -> bool:
+        """Whether the fault state eats this frame on the wire."""
+        if self._key(src, dst) in self._down:
+            return True
+        for fn in self._filters:
+            if fn(src, dst, frame):
+                return True
+        return False
 
 
 class SimFabric:
@@ -55,6 +119,9 @@ class SimFabric:
         self._listeners: dict[object, "_SimListener"] = {}
         self.total_bytes = 0
         self.total_messages = 0
+        #: Fault-injection state; endpoints consult it only while a
+        #: fault is live (one attribute check on the no-fault path).
+        self.faults = FabricFaults()
 
     def _account(self, src, dst, nbytes: int) -> float:
         """Record traffic and return the model's extra latency."""
@@ -85,6 +152,9 @@ class _SimEndpoint(Endpoint):
     def _wire_delay(self, nbytes: int, dst) -> float:
         p = self.transport.profile
         extra = self.fabric._account(self.node_id, dst, nbytes)
+        faults = self.fabric.faults
+        if faults.active:
+            extra += faults.extra_latency(self.node_id, dst)
         return p.base_latency + nbytes * p.per_byte + extra
 
     def send(self, frame: bytes) -> None:
@@ -92,6 +162,13 @@ class _SimEndpoint(Endpoint):
             raise TransportError("send on closed sim endpoint")
         self.bytes_sent += len(frame)
         peer = self.peer
+        faults = self.fabric.faults
+        if faults.active and faults.drops_frame(self.node_id, peer.node_id, frame):
+            # Lost on the faulted link: the sender paid for the send,
+            # the receiver never hears it (no error, no close — exactly
+            # the silence a lost reply produces).
+            faults.frames_dropped += 1
+            return
         delay = self._wire_delay(len(frame), peer.node_id)
         self.engine.call_later(delay, lambda: (not peer.closed) and peer._deliver(frame))
 
@@ -101,10 +178,25 @@ class _SimEndpoint(Endpoint):
             return
         peer = self.peer
         p = self.transport.profile
+        faults = self.fabric.faults
+        if faults.active and faults.blocked(self.node_id, peer.node_id):
+            # Link down at issue time: the read completes in error after
+            # the transport's detection latency, never silently hangs —
+            # the in-flight flag must always be released.
+            faults.reads_failed += 1
+            self.engine.call_later(p.base_latency, lambda: on_complete(None))
+            return
         # Request travels to the target...
         req_delay = self._wire_delay(64, peer.node_id)
 
         def at_target() -> None:
+            faults_now = self.fabric.faults
+            if faults_now.active and faults_now.blocked(self.node_id, peer.node_id):
+                # Link went down mid-flight: completion error on the
+                # initiator after the detection latency.
+                faults_now.reads_failed += 1
+                self.engine.call_later(p.base_latency, lambda: on_complete(None))
+                return
             if peer.closed:
                 self.engine.call_later(p.base_latency, lambda: on_complete(None))
                 return
