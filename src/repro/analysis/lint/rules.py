@@ -367,7 +367,10 @@ class NoBlockingIoInHotPathRule(Rule):
     default_packages = ("repro.core", "repro.plugins")
     interests = (ast.FunctionDef, ast.AsyncFunctionDef)
 
-    DEFAULT_HOT = ("do_sample", "store")
+    #: ``store_many`` is the vectorized flush path — one call covers a
+    #: whole flush batch, so a blocking call there stalls every store
+    #: record of the wakeup, not just one.
+    DEFAULT_HOT = ("do_sample", "store", "store_many")
     BANNED_BARE = frozenset({"open", "print", "input", "breakpoint"})
     BANNED_DOTTED = frozenset({
         "time.sleep",

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import partial
 from typing import TYPE_CHECKING, Optional
 
 from repro.core import wire
@@ -96,6 +97,9 @@ class UpdateStats:
     updates_issued: int = 0
     updates_completed: int = 0
     updates_failed: int = 0
+    #: Of ``updates_issued``, how many rode a coalesced multi-set fetch
+    #: (one wire round-trip amortised over all READY sets, §IV-D).
+    updates_coalesced: int = 0
     skipped_stale: int = 0  # DGN unchanged since last store
     skipped_inconsistent: int = 0  # torn read: consistent flag clear
     skipped_busy: int = 0  # previous update still in flight (bypass)
@@ -400,6 +404,8 @@ class Producer:
         sets.  Expiry resets the updater so the next loop retries, per
         Fig. 2's "keep performing lookup in the next update loop".
         """
+        if not self._pending_lookups:
+            return
         timeout = self.cfg.lookup_timeout
         if timeout is None:
             timeout = 2.0 * self.cfg.interval
@@ -431,7 +437,8 @@ class Producer:
                         and not self.connecting):
                     self._connect()
                 return
-            self._expire_lookups()
+            if self._pending_lookups:
+                self._expire_lookups()
             if not self.active:
                 return
             if not self.updaters and self.endpoint is not None:
@@ -448,11 +455,29 @@ class Producer:
                     # producers in sync with set deletion on the target.
                     self._ticks_since_dir = 0
                     self.endpoint.send(wire.encode_frame(wire.MsgType.DIR_REQ, 0))
-            for upd in list(self.updaters.values()):
+            ready: list[UpdaterState] = []
+            # _send_lookup never mutates the updaters dict (frames go
+            # out asynchronously), so no defensive copy per tick.
+            for upd in self.updaters.values():
                 if upd.state is SetState.NEW:
                     self._send_lookup(upd.set_name)
                 elif upd.state is SetState.READY:
-                    self._issue_update(upd)
+                    if upd.in_flight:
+                        # Bypass non-reporting target; retry next
+                        # interval (§IV-E).
+                        self.stats.skipped_busy += 1
+                        self._c_busy.inc()
+                    else:
+                        ready.append(upd)
+            if not ready:
+                return
+            if len(ready) == 1:
+                self._issue_update(ready[0])
+            else:
+                # Coalesce every READY set on this producer into one
+                # batched fetch: one request/reply frame pair and one
+                # update-worker completion amortised over the batch.
+                self._issue_update_multi(ready)
 
     def _issue_update(self, upd: UpdaterState) -> None:
         if upd.in_flight:
@@ -480,6 +505,46 @@ class Producer:
             )
 
         endpoint.rdma_read(upd.region_id, on_data)
+
+    def _issue_update_multi(self, upds: list[UpdaterState]) -> None:
+        """Issue one coalesced fetch covering every updater in ``upds``.
+
+        Each set keeps its own trace and completion validation (exactly
+        the per-set semantics of :meth:`_complete_update`); only the wire
+        transaction and the worker-pool hand-off are shared.
+        """
+        endpoint = self.endpoint
+        if endpoint is None:
+            return
+        stats = self.stats
+        tracer = self.daemon.tracer
+        now = self.daemon.env.now()
+        batch: list[tuple[UpdaterState, float, object]] = []
+        region_ids: list[int] = []
+        for upd in upds:
+            upd.in_flight = True
+            stats.updates_issued += 1
+            trace = tracer.start(self.cfg.name, upd.set_name)
+            batch.append((upd, trace.t_issue if trace is not None else now, trace))
+            region_ids.append(upd.region_id)
+        stats.updates_coalesced += len(upds)
+        endpoint.rdma_read_multi(region_ids, partial(self._multi_data, batch))
+
+    def _multi_data(self, batch, datas) -> None:
+        # One update worker reaps the whole batch; simulated CPU is the
+        # same per-set charge as N single completions.
+        self.daemon.worker_pool.submit(
+            partial(self._complete_update_multi, batch, datas),
+            cost=self.daemon.update_cpu_cost * len(batch),
+            core=self.daemon.core,
+            tag="agg-update",
+        )
+
+    def _complete_update_multi(self, batch, datas) -> None:
+        if datas is None:
+            datas = [None] * len(batch)
+        for (upd, t_issue, trace), data in zip(batch, datas):
+            self._complete_update(upd, data, t_issue, trace)
 
     def _complete_update(
         self, upd: UpdaterState, data: Optional[bytes], t_issue: float, trace=None
@@ -535,7 +600,7 @@ class Producer:
                 self._c_stale.inc()
                 tracer.finish(trace, "stale")
                 return
-            upd.mirror.apply_data(data)
+            upd.mirror._install(data, dgn, consistent)
             upd.last_dgn = dgn
             if trace is not None:
                 trace.sample_ts = upd.mirror.timestamp

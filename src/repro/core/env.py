@@ -22,7 +22,7 @@ import itertools
 import threading
 from typing import Any, Callable, Optional
 
-from repro.sim.engine import Engine, Event
+from repro.sim.engine import Engine
 from repro.sim.resources import CpuCore, Resource
 from repro.util.errors import SimulationError
 from repro.util.timeutil import monotonic
@@ -63,8 +63,10 @@ class WorkerPool:
 
         ``cost``/``core``/``tag`` are simulation annotations: the task
         occupies a worker for ``cost`` simulated seconds and records that
-        busy time on ``core`` (for noise accounting).  RealEnv ignores
-        them — real work has real cost.
+        busy time on ``core`` (for noise accounting).  ``cost`` may be a
+        zero-argument callable, evaluated when the worker is acquired
+        (batched tasks charge for the work they seal at that moment).
+        RealEnv ignores them — real work has real cost.
 
         ``on_start`` fires when the worker is acquired, *before* the
         cost window; ``fn`` fires at its end.  ldmsd uses this split to
@@ -108,6 +110,10 @@ class Env:
 
     def shutdown(self) -> None:
         """Stop background machinery (RealEnv threads). Idempotent."""
+
+    def timer_fastpath_ticks(self) -> int:
+        """Ticks delivered through the zero-allocation periodic path."""
+        return 0
 
     # -- convenience -------------------------------------------------------
     def call_every(
@@ -219,6 +225,9 @@ class _RealPool(WorkerPool):
 class RealEnv(Env):
     """Wall-clock environment: one timer thread + worker pools."""
 
+    #: cancelled-entry count that arms a heap compaction pass
+    _COMPACT_MIN = 64
+
     def __init__(self):
         self._heap: list[tuple[float, int, Callable[[], Any], TaskHandle]] = []
         self._seq = itertools.count()
@@ -226,6 +235,7 @@ class RealEnv(Env):
         self._stop = False
         self._pools: list[_RealPool] = []
         self._epoch = monotonic()
+        self._ncancelled = 0  # cancelled entries still sitting in the heap
         self._timer = threading.Thread(target=self._run, name="env-timer", daemon=True)
         self._timer.start()
 
@@ -233,11 +243,23 @@ class RealEnv(Env):
         return monotonic() - self._epoch
 
     def call_later(self, delay: float, fn: Callable[[], Any]) -> TaskHandle:
-        handle = TaskHandle(lambda: None)  # cancellation checked via flag
+        handle = TaskHandle(self._note_cancel)  # cancellation checked via flag
         with self._cv:
             heapq.heappush(self._heap, (self.now() + max(delay, 0.0), next(self._seq), fn, handle))
             self._cv.notify()
         return handle
+
+    def _note_cancel(self) -> None:
+        """Lazy drop: count the dead heap entry; compact once cancelled
+        entries dominate, so churning producers can't grow the heap
+        unboundedly while their timers wait out long deadlines."""
+        with self._cv:
+            self._ncancelled += 1
+            if (self._ncancelled >= self._COMPACT_MIN
+                    and self._ncancelled * 2 >= len(self._heap)):
+                self._heap = [e for e in self._heap if not e[3].cancelled]
+                heapq.heapify(self._heap)
+                self._ncancelled = 0
 
     def make_pool(self, name: str, size: int) -> WorkerPool:
         pool = _RealPool(name, size)
@@ -261,6 +283,8 @@ class RealEnv(Env):
                     self._cv.wait(timeout=min(delay, 0.5))
                     continue
                 heapq.heappop(self._heap)
+                if handle.cancelled and self._ncancelled > 0:
+                    self._ncancelled -= 1
             if not handle.cancelled:
                 try:
                     fn()
@@ -283,6 +307,61 @@ class RealEnv(Env):
 # ---------------------------------------------------------------------------
 
 
+class _PoolTask:
+    """One submitted pool task: slotted two-phase grant→finish state.
+
+    Replaces the Event + two closures the old path allocated per task.
+    Phase 1 (grant) fires one heap entry after submit — exactly where
+    the granted Resource event used to land, so task interleaving is
+    unchanged — opens the busy window (``on_start``), charges core
+    noise, and schedules phase 2 at the cost horizon.  Phase 2 runs the
+    callback and releases the worker.
+    """
+
+    __slots__ = ("pool", "fn", "cost", "core", "tag", "on_start", "_started")
+
+    def __init__(self, pool: "_SimPool", fn, cost, core, tag, on_start):
+        self.pool = pool
+        self.fn = fn
+        self.cost = cost
+        self.core = core
+        self.tag = tag
+        self.on_start = on_start
+        self._started = False
+
+    def _granted(self, _ev) -> None:  # slow path: queued Resource grant
+        self._fire()
+
+    def _fire(self) -> None:
+        pool = self.pool
+        if self._started:
+            try:
+                self.fn()
+            finally:
+                pool.resource.release()
+            return
+        self._started = True
+        cost = self.cost
+        if callable(cost):
+            # Lazy cost: evaluated when the worker is acquired, so a
+            # batched task can charge for exactly the work it seals off
+            # at that moment.
+            cost = cost()
+        if self.on_start is not None:
+            self.on_start()
+        if self.core is not None and cost > 0.0:
+            self.core.add_noise(pool.engine.now, cost, self.tag)
+        pool.busy_time += cost
+        pool.tasks_run += 1
+        if cost > 0.0:
+            pool.engine._push(self, cost)
+        else:
+            try:
+                self.fn()
+            finally:
+                pool.resource.release()
+
+
 class _SimPool(WorkerPool):
     """Worker pool as a counted DES resource.
 
@@ -300,32 +379,32 @@ class _SimPool(WorkerPool):
         self.tasks_run = 0
 
     def submit(self, fn, cost: float = 0.0, core=None, tag: str = "ldmsd", on_start=None) -> None:
-        req = self.resource.request()
-
-        def granted(_ev: Event) -> None:
-            start = self.engine.now
-            if on_start is not None:
-                on_start()
-            if core is not None and cost > 0.0:
-                core.add_noise(start, cost, tag)
-            self.busy_time += cost
-            self.tasks_run += 1
-
-            def finish() -> None:
-                try:
-                    fn()
-                finally:
-                    self.resource.release(req)
-
-            if cost > 0.0:
-                self.engine.call_later(cost, finish)
+        task = _PoolTask(self, fn, cost, core, tag, on_start)
+        if self.resource.try_acquire():
+            if not callable(cost) and cost > 0.0:
+                # Free worker, fixed positive cost: run phase 1 (grant)
+                # inline.  The grant only opens the busy window and
+                # charges the core — the callback still fires at the
+                # cost horizon — so the zero-delay grant event is pure
+                # heap traffic.  Lazy (callable) costs keep the event,
+                # because they must price work sealed at grant time;
+                # zero-cost tasks keep it so ``fn`` never reenters the
+                # submitter's frame.
+                task._started = True
+                if on_start is not None:
+                    on_start()
+                if core is not None:
+                    core.add_noise(self.engine.now, cost, tag)
+                self.busy_time += cost
+                self.tasks_run += 1
+                self.engine._push(task, cost)
             else:
-                finish()
-
-        if req.processed:
-            granted(req)
+                # Skip the Resource Event entirely, but still land the
+                # grant one heap entry later (same ordering as a granted
+                # request event).
+                self.engine._push(task, 0.0)
         else:
-            req.callbacks.append(granted)
+            self.resource.request().callbacks.append(task._granted)
 
 
 class SimEnv(Env):
@@ -336,13 +415,26 @@ class SimEnv(Env):
         self.pools: list[_SimPool] = []
 
     def now(self) -> float:
-        return self.engine.now
+        return self.engine._now  # skip the property hop: hottest call in a sweep
 
     def call_later(self, delay: float, fn: Callable[[], Any]) -> TaskHandle:
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        ev = self.engine.call_later(delay, fn)
-        return TaskHandle(lambda: Engine.cancel(ev))
+        # The engine timer duck-types TaskHandle (cancel()/cancelled);
+        # returning it directly saves two allocations per scheduling.
+        return self.engine.call_later(delay, fn)
+
+    def call_every(self, interval: float, fn: Callable[[], Any],
+                   synchronous: bool = False, offset: float = 0.0,
+                   jitter_rng=None) -> TaskHandle:
+        # Zero-allocation periodic path: one self-rescheduling timer
+        # object instead of a Timeout + closure pair per tick.  Delay
+        # arithmetic and jitter draws match Env.call_every exactly.
+        return self.engine.schedule_periodic(interval, fn, synchronous,
+                                             offset, jitter_rng)
+
+    def timer_fastpath_ticks(self) -> int:
+        return self.engine.timer_fastpath_ticks
 
     def make_pool(self, name: str, size: int) -> WorkerPool:
         pool = _SimPool(self.engine, name, size)

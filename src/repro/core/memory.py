@@ -42,11 +42,12 @@ class Arena:
         self._free: list[tuple[int, int]] = [(0, self.size)]
         # Live allocations: offset -> length (aligned).
         self._live: dict[int, int] = {}
+        self._used = 0  # incremental live-byte total (alloc is hot)
         self.peak_used = 0
 
     @property
     def used(self) -> int:
-        return sum(self._live.values())
+        return self._used
 
     @property
     def available(self) -> int:
@@ -68,7 +69,9 @@ class Arena:
                 else:
                     self._free[i] = (off + need, length - need)
                 self._live[off] = need
-                self.peak_used = max(self.peak_used, self.used)
+                self._used += need
+                if self._used > self.peak_used:
+                    self.peak_used = self._used
                 return off
         raise OutOfMemory(
             f"arena exhausted: need {need}B, {self.available}B free "
@@ -81,6 +84,7 @@ class Arena:
             length = self._live.pop(offset)
         except KeyError:
             raise ValueError(f"free of unallocated offset {offset}") from None
+        self._used -= length
         # Insert hole keeping the list sorted by offset, then coalesce.
         self._free.append((offset, length))
         self._free.sort()

@@ -149,3 +149,39 @@ class MetricDesc:
             component_id=comp_id,
             data_offset=offset,
         )
+
+    @classmethod
+    def unpack_block(cls, raw: bytes | memoryview) -> list["MetricDesc"]:
+        """Unpack a contiguous run of descriptors in one C-level pass.
+
+        Mirror construction parses one block per connected sampler; a
+        single ``iter_unpack`` plus validation-free instantiation is
+        several times cheaper than per-descriptor :meth:`unpack` calls
+        at 9,000-producer fan-in.  Wire-format fields are already range
+        safe (unsigned ints, bounded name field); only the checks that
+        guard against garbage blocks are kept.
+        """
+        descs: list[MetricDesc] = []
+        new = cls.__new__
+        set_ = object.__setattr__
+        types = _TYPE_BY_TAG
+        for name_b, comp_id, tag, offset in struct.iter_unpack(cls.WIRE_FMT, raw):
+            name = name_b.rstrip(b"\x00").decode("utf-8")
+            if not name:
+                raise ValueError("metric name must be non-empty")
+            mtype = types.get(tag)
+            if mtype is None:
+                raise ValueError(f"{tag} is not a valid MetricType")
+            d = new(cls)
+            set_(d, "name", name)
+            set_(d, "mtype", mtype)
+            set_(d, "component_id", comp_id)
+            set_(d, "data_offset", offset)
+            descs.append(d)
+        return descs
+
+
+#: tag -> MetricType without the IntEnum __call__ overhead (the enum
+#: constructor is a surprisingly hot call when unpacking thousands of
+#: descriptor blocks).
+_TYPE_BY_TAG = {int(t): t for t in MetricType}

@@ -201,6 +201,7 @@ class MetricSet:
         arena: Arena,
         mgn: int,
         data_size: int,
+        meta_src: Optional[bytes] = None,
     ):
         self.name = name
         self.schema = schema
@@ -236,23 +237,29 @@ class MetricSet:
         self._in_transaction = False
         self._deleted = False
 
-        # Serialize metadata into the metadata chunk.
-        struct.pack_into(
-            _META_HDR_FMT,
-            self._meta,
-            0,
-            _META_MAGIC,
-            self.meta_size,
-            self.data_size,
-            len(descs),
-            mgn,
-            name.encode("utf-8"),
-            schema.encode("utf-8"),
-        )
-        pos = _META_HDR_SIZE
-        for d in descs:
-            self._meta[pos : pos + MetricDesc.WIRE_SIZE] = d.pack()
-            pos += MetricDesc.WIRE_SIZE
+        # Serialize metadata into the metadata chunk.  A mirror already
+        # holds the wire-format chunk it was built from, so copying it
+        # wholesale beats re-packing the header + every descriptor (the
+        # aggregator builds one mirror per connected sampler).
+        if meta_src is not None:
+            self._meta[:] = meta_src
+        else:
+            struct.pack_into(
+                _META_HDR_FMT,
+                self._meta,
+                0,
+                _META_MAGIC,
+                self.meta_size,
+                self.data_size,
+                len(descs),
+                mgn,
+                name.encode("utf-8"),
+                schema.encode("utf-8"),
+            )
+            pos = _META_HDR_SIZE
+            for d in descs:
+                self._meta[pos : pos + MetricDesc.WIRE_SIZE] = d.pack()
+                pos += MetricDesc.WIRE_SIZE
         # Data header: MGN mirrored, DGN 0, consistent 0, ts 0
         _STRUCT_DATA_HDR.pack_into(self._data, 0, mgn, 0, 0, 0.0)
 
@@ -301,11 +308,10 @@ class MetricSet:
             raise ValueError("bad metadata magic")
         if len(meta) != meta_size:
             raise ValueError(f"metadata size mismatch: header says {meta_size}, got {len(meta)}")
-        descs = []
-        pos = _META_HDR_SIZE
-        for _ in range(card):
-            descs.append(MetricDesc.unpack(meta[pos : pos + MetricDesc.WIRE_SIZE]))
-            pos += MetricDesc.WIRE_SIZE
+        end = _META_HDR_SIZE + card * MetricDesc.WIRE_SIZE
+        if len(meta) < end:
+            raise ValueError("truncated descriptor block")
+        descs = MetricDesc.unpack_block(meta[_META_HDR_SIZE:end])
         mset = cls(
             name_b.rstrip(b"\x00").decode("utf-8"),
             schema_b.rstrip(b"\x00").decode("utf-8"),
@@ -313,6 +319,7 @@ class MetricSet:
             arena,
             mgn=mgn,
             data_size=data_size,
+            meta_src=meta,
         )
         if mset._shadow is not None:
             # Mirrors get the consumer-side checks: decoding values
@@ -568,6 +575,13 @@ class MetricSet:
         this mirror's metadata MGN — the consumer must re-lookup.
         """
         dgn, consistent = self.peek_data_header(raw)
+        self._install(raw, dgn, consistent)
+
+    def _install(self, raw: bytes | memoryview, dgn: int, consistent: bool) -> None:
+        """Install an already-peeked data chunk (skips re-validation —
+        the aggregator's completion path peeks first to drop stale and
+        torn fetches, so validating again per update would be pure
+        overhead)."""
         if self._shadow is not None:
             sanitize.check_apply(self, dgn, consistent)
         self._data[:] = raw

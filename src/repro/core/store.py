@@ -147,8 +147,48 @@ class StorePlugin:
             raise StoreError(f"{self.plugin_name}: {exc}") from exc
         self.records_stored += 1
 
+    def submit_many(self, records: list[StoreRecord]) -> int:
+        """Policy-filter then store a whole batch; returns failed count.
+
+        The vectorized flush path: one flush-thread wakeup hands every
+        buffered record to the plugin at once, so per-call overhead
+        (policy checks aside) is paid per *batch* via
+        :meth:`store_many`.  Counter semantics match per-record
+        ``submit``: rejects count as dropped, failures as failed.  A
+        ``store_many`` that raises fails the whole remaining batch —
+        plugins wanting per-row granularity override ``store_many``.
+        """
+        if self.fail_writes:
+            n = len(records)
+            self.records_failed += n
+            self.last_error = "injected write failure"
+            return n
+        policy = self.policy
+        todo = []
+        for record in records:
+            if not policy.matches(record):
+                self.records_dropped += 1
+                continue
+            todo.append(policy.project(record))
+        if not todo:
+            return 0
+        try:
+            self.store_many(todo)
+        except Exception as exc:
+            self.records_failed += len(todo)
+            self.last_error = str(exc)
+            return len(todo)
+        self.records_stored += len(todo)
+        return 0
+
     def store(self, record: StoreRecord) -> None:
         raise NotImplementedError
+
+    def store_many(self, records: list[StoreRecord]) -> None:
+        """Write a batch of already-filtered records (override to
+        vectorize; the default just loops :meth:`store`)."""
+        for record in records:
+            self.store(record)
 
     def flush(self) -> None:
         """Push buffered data to stable storage."""

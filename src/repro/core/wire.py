@@ -42,6 +42,10 @@ __all__ = [
     "unpack_update_req",
     "pack_update_reply",
     "unpack_update_reply",
+    "pack_read_multi_req",
+    "unpack_read_multi_req",
+    "pack_read_multi_reply",
+    "unpack_read_multi_reply",
 ]
 
 _HDR_FMT = "<IBQ"
@@ -65,6 +69,8 @@ class MsgType:
     RDMA_READ_REPLY = 8
     ADVERTISE = 9  # passive mode: a sampler announces itself to an
     # aggregator it connected to (asymmetric network access, §IV-B)
+    RDMA_READ_MULTI_REQ = 10  # coalesced read: N regions, one frame each way
+    RDMA_READ_MULTI_REPLY = 11
 
 
 @dataclass(frozen=True)
@@ -250,3 +256,43 @@ def pack_update_reply(status: int, data: bytes = b"") -> bytes:
 def unpack_update_reply(payload: bytes) -> tuple[int, bytes]:
     status, dlen = struct.unpack_from("<iI", payload, 0)
     return status, payload[8 : 8 + dlen]
+
+
+# ---------------------------------------------------------------------------
+# Coalesced READ (update batching, §IV-A/§IV-D): one request frame names N
+# registered regions; one reply frame carries N per-region results.  The
+# framing/dispatch overhead of an update transaction is thereby paid once
+# per producer per collection interval instead of once per metric set.
+# ---------------------------------------------------------------------------
+
+
+def pack_read_multi_req(region_ids: list[int]) -> bytes:
+    return struct.pack(f"<I{len(region_ids)}Q", len(region_ids), *region_ids)
+
+
+def unpack_read_multi_req(payload: bytes) -> list[int]:
+    (n,) = struct.unpack_from("<I", payload, 0)
+    return list(struct.unpack_from(f"<{n}Q", payload, 4))
+
+
+def pack_read_multi_reply(parts: list[bytes | None]) -> bytes:
+    out = [struct.pack("<I", len(parts))]
+    for data in parts:
+        if data is None:
+            out.append(struct.pack("<iI", E_NOENT, 0))
+        else:
+            out.append(struct.pack("<iI", E_OK, len(data)))
+            out.append(data)
+    return b"".join(out)
+
+
+def unpack_read_multi_reply(payload: bytes) -> list[bytes | None]:
+    (n,) = struct.unpack_from("<I", payload, 0)
+    pos = 4
+    parts: list[bytes | None] = []
+    for _ in range(n):
+        status, dlen = struct.unpack_from("<iI", payload, pos)
+        pos += 8
+        parts.append(bytes(payload[pos : pos + dlen]) if status == E_OK else None)
+        pos += dlen
+    return parts

@@ -10,10 +10,15 @@ The transport-level bound is endpoint capacity (file descriptors / QP
 contexts / Gemini endpoints) — a per-transport constant in our
 profiles, exercised here with a DES sweep: N sampler daemons against
 one aggregator; collection completeness collapses once N exceeds the
-transport's connection capacity.  To keep the sweep tractable the
-profile capacities are scaled down by ``SCALE`` (the knee position in
-daemons is ``profile.max_connections / SCALE``); the reported
-*full-scale* limit is the unscaled profile constant.
+transport's connection capacity.
+
+The sweep runs at **full scale by default**: the engine's timer wheel
+and the coalesced update/flush paths make a ≥9,000-sampler sock sweep
+tractable in one process, so no capacity down-scaling is needed to find
+the knee at the real profile constant.  Pass ``scale > 1`` (CLI:
+``--scale``) to divide the profile capacities for a quick smoke sweep;
+the reported *full-scale* knee is then ``knee × scale`` while the
+*simulated* knee stays in sweep units.
 
 Also measured: aggregator update-pipeline CPU (worker-pool busy
 fraction), reproducing the §IV-D observation that a first-level Chama
@@ -23,6 +28,8 @@ aggregator uses ~0.1% of a core while the Blue Waters configuration
 
 from __future__ import annotations
 
+import argparse
+import gc
 from dataclasses import dataclass, replace
 
 from repro.core import Ldmsd, SimEnv
@@ -31,9 +38,18 @@ from repro.sim.engine import Engine
 from repro.transport.base import get_transport_profile
 from repro.transport.simfabric import SimFabric, SimTransport
 
-__all__ = ["FaninPoint", "sweep_transport", "aggregator_utilization", "main"]
+__all__ = [
+    "FaninPoint",
+    "default_sizes",
+    "sweep_transport",
+    "max_fanin",
+    "aggregator_utilization",
+    "main",
+]
 
-SCALE = 64  # capacity scale-down for the DES sweep
+#: Sweep sizes as fractions of the transport's connection capacity:
+#: well below, approaching, at, and past the knee.
+_SIZE_FRACTIONS = (0.35, 0.70, 0.90, 1.00, 1.11)
 
 
 @dataclass(frozen=True)
@@ -45,18 +61,30 @@ class FaninPoint:
     refused: int
 
 
+def default_sizes(xprt: str, scale: int = 1) -> list[int]:
+    """Sweep sizes bracketing the knee at ``capacity // scale``."""
+    cap = get_transport_profile(xprt).max_connections // scale
+    return [max(int(cap * f), 1) for f in _SIZE_FRACTIONS]
+
+
 def _build(n_samplers: int, xprt: str, interval: float, metrics: int,
-            duration: float, scale_capacity: bool = True):
+           duration: float, scale: int = 1):
     eng = Engine()
     env = SimEnv(eng)
     fabric = SimFabric(eng)
     profile = get_transport_profile(xprt)
-    if scale_capacity:
-        profile = replace(profile, max_connections=max(profile.max_connections // SCALE, 1))
+    if scale > 1:
+        profile = replace(profile, max_connections=max(profile.max_connections // scale, 1))
     samplers = []
     for i in range(n_samplers):
         x = SimTransport(fabric, profile, node_id=i)
-        d = Ldmsd(f"n{i}", env=env, transports={xprt: x}, mem="64kB",
+        # "A few kB" per sampler (§IV-D): size the arena to the actual
+        # set (descriptors + data + headers, ~256 B/metric with slack)
+        # instead of a fat default — keeps a ≥9,000-daemon sweep
+        # cache-resident instead of spending ~600 MB on idle arena
+        # pages, while still fitting the 194-metric utilization runs.
+        d = Ldmsd(f"n{i}", env=env, transports={xprt: x},
+                  mem=max(8 * 1024, 4096 + metrics * 256),
                   workers=1, conn_threads=1, flush_threads=1)
         d.load_sampler("synthetic", instance=f"n{i}/syn", component_id=i + 1,
                        num_metrics=metrics)
@@ -74,12 +102,29 @@ def _build(n_samplers: int, xprt: str, interval: float, metrics: int,
     return eng, env, agg, agg_x, store
 
 
-def sweep_transport(xprt: str, sizes: list[int], interval: float = 5.0,
-                    metrics: int = 10, duration: float = 30.0) -> list[FaninPoint]:
+def sweep_transport(xprt: str, sizes: list[int] | None = None,
+                    interval: float = 5.0, metrics: int = 10,
+                    duration: float = 30.0, scale: int = 1) -> list[FaninPoint]:
+    """Run the fan-in sweep; ``sizes=None`` derives them from the
+    transport's (possibly scaled) capacity via :func:`default_sizes`."""
+    if sizes is None:
+        sizes = default_sizes(xprt, scale)
     points = []
     for n in sizes:
-        eng, env, agg, agg_x, store = _build(n, xprt, interval, metrics, duration)
-        eng.run(until=duration)
+        # Building ≥9,000 daemons allocates enough to trigger dozens of
+        # full generational collections that free nothing; pause the
+        # cyclic collector for the point (refcounting reclaims each
+        # point's topology as soon as it goes out of scope).
+        paused = gc.isenabled()
+        if paused:
+            gc.disable()
+        try:
+            eng, env, agg, agg_x, store = _build(n, xprt, interval, metrics,
+                                                 duration, scale=scale)
+            eng.run(until=duration)
+        finally:
+            if paused:
+                gc.enable()
         expected = n * (duration / interval - 1)  # first interval ramps up
         connected = sum(1 for p in agg.producers.values() if p.connected)
         points.append(
@@ -115,8 +160,7 @@ def aggregator_utilization(n_samplers: int = 64, interval: float = 20.0,
                            label: str = "chama-L1") -> AggUtilization:
     """Worker+flush busy fraction of one aggregator under load."""
     eng, env, agg, agg_x, store = _build(n_samplers, "rdma", interval,
-                                         metrics, duration,
-                                         scale_capacity=False)
+                                         metrics, duration)
     agg.add_store("memory")  # second store doubles flush load, like CSV+fwd
     eng.run(until=duration)
     busy = sum(p.busy_time for p in env.pools if p.name.startswith("agg/"))
@@ -129,25 +173,27 @@ def aggregator_utilization(n_samplers: int = 64, interval: float = 20.0,
     )
 
 
-def main() -> dict:
-    sizes_by_xprt = {
-        "sock": [32, 64, 96, 128, 144, 160, 192],
-        "rdma": [32, 64, 96, 128, 144, 160, 192],
-        "ugni": [64, 128, 192, 224, 256, 288, 320],
-    }
-    print_header("Fan-in by transport (paper §IV-A; capacities scaled 1/%d)" % SCALE)
+def main(scale: int = 1, xprts: tuple[str, ...] = ("sock", "rdma", "ugni"),
+         interval: float = 5.0, metrics: int = 10,
+         duration: float = 30.0) -> dict:
+    if scale > 1:
+        print_header("Fan-in by transport (paper §IV-A; capacities scaled 1/%d)"
+                     % scale)
+    else:
+        print_header("Fan-in by transport (paper §IV-A; full-scale capacities)")
     results = {}
     rows = []
-    for xprt, sizes in sizes_by_xprt.items():
-        points = sweep_transport(xprt, sizes)
+    for xprt in xprts:
+        points = sweep_transport(xprt, interval=interval, metrics=metrics,
+                                 duration=duration, scale=scale)
         results[xprt] = points
         knee = max_fanin(points)
         full_scale = get_transport_profile(xprt).max_connections
         paper = {"sock": PAPER.fanin_sock, "rdma": PAPER.fanin_rdma,
                  "ugni": PAPER.fanin_ugni}[xprt]
-        rows.append([xprt, knee, knee * SCALE, full_scale, f"~{paper}"])
+        rows.append([xprt, knee, knee * scale, full_scale, f"~{paper}"])
     print_table(
-        ["transport", "scaled knee", "knee x SCALE", "profile capacity",
+        ["transport", "simulated knee", "full-scale knee", "profile capacity",
          "paper fan-in"],
         rows,
     )
@@ -155,7 +201,7 @@ def main() -> dict:
     print_table(
         ["transport", "samplers", "connected", "completeness", "refused"],
         [[p.transport, p.n_samplers, p.connected, p.completeness, p.refused]
-         for pts in results.values() for p in pts],
+         for xprt in xprts for p in results[xprt]],
     )
 
     print_header("Aggregator utilization (paper §IV-D)")
@@ -175,5 +221,20 @@ def main() -> dict:
     return results
 
 
+def _cli() -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--scale", type=int, default=1,
+                    help="divide transport capacities by this for a quick "
+                         "smoke sweep (default 1: full scale)")
+    ap.add_argument("--xprt", action="append", choices=["sock", "rdma", "ugni"],
+                    help="transport(s) to sweep (default: all three)")
+    ap.add_argument("--interval", type=float, default=5.0)
+    ap.add_argument("--metrics", type=int, default=10)
+    ap.add_argument("--duration", type=float, default=30.0)
+    args = ap.parse_args()
+    main(scale=args.scale, xprts=tuple(args.xprt or ("sock", "rdma", "ugni")),
+         interval=args.interval, metrics=args.metrics, duration=args.duration)
+
+
 if __name__ == "__main__":
-    main()
+    _cli()

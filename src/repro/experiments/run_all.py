@@ -55,9 +55,9 @@ def main(argv: list[str] | None = None) -> list[list[object]]:
     from repro.experiments import fanin
 
     sock = fanin.max_fanin(fanin.sweep_transport(
-        "sock", [128, 144, 160], duration=20.0)) * fanin.SCALE
+        "sock", [128, 144, 160], duration=20.0, scale=64)) * 64
     ugni = fanin.max_fanin(fanin.sweep_transport(
-        "ugni", [224, 256, 288], duration=20.0)) * fanin.SCALE
+        "ugni", [224, 256, 288], duration=20.0, scale=64)) * 64
     add("§IV-A", "sock fan-in", "~9000", sock, 8000 <= sock <= 10000)
     add("§IV-A", "ugni fan-in", ">15000", ugni, ugni > 15000)
 

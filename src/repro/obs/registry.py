@@ -51,6 +51,7 @@ def _log_ladder(decades: tuple[int, int]) -> tuple[float, ...]:
 #: last).  Fine enough that interpolated p50/p95/p99 land within one
 #: 1-2-5 step of the true quantile.
 DEFAULT_LATENCY_EDGES = _log_ladder((-6, 2))
+_DEFAULT_EDGES_ARR = np.asarray(DEFAULT_LATENCY_EDGES)
 
 
 class Counter:
@@ -108,13 +109,20 @@ class Histogram:
 
     def __init__(self, name: str, edges: Optional[tuple[float, ...]] = None):
         self.name = name
-        self.edges = tuple(edges) if edges is not None else DEFAULT_LATENCY_EDGES
-        if len(self.edges) < 1 or any(
-            b <= a for a, b in zip(self.edges, self.edges[1:])
-        ):
-            raise ValueError("histogram edges must be strictly increasing")
+        if edges is None:
+            # The default ladder is pre-validated and its ndarray shared:
+            # a 9,000-daemon sweep creates tens of thousands of default
+            # histograms, so per-instance validation + asarray adds up.
+            self.edges = DEFAULT_LATENCY_EDGES
+            self._edges_arr = _DEFAULT_EDGES_ARR
+        else:
+            self.edges = tuple(edges)
+            if len(self.edges) < 1 or any(
+                b <= a for a, b in zip(self.edges, self.edges[1:])
+            ):
+                raise ValueError("histogram edges must be strictly increasing")
+            self._edges_arr = np.asarray(self.edges)
         self.buckets = [0] * (len(self.edges) + 1)
-        self._edges_arr = np.asarray(self.edges)
         self._count = 0
         self._sum = 0.0
         self._min = float("inf")
@@ -269,6 +277,24 @@ class Telemetry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._endpoint_incs: Optional[tuple] = None
+
+    def endpoint_incs(self) -> tuple:
+        """The four transport-accounting ``inc`` methods, bound once.
+
+        Every endpoint of a daemon binds the same four counters; at
+        ≥9,000 connections the per-endpoint name lookups are a measurable
+        slice of connection setup, so the bound-method tuple is cached.
+        """
+        incs = self._endpoint_incs
+        if incs is None:
+            incs = self._endpoint_incs = (
+                self.counter("transport.frames_rx").inc,
+                self.counter("transport.bytes_rx").inc,
+                self.counter("transport.rdma_reads").inc,
+                self.counter("transport.rdma_bytes").inc,
+            )
+        return incs
 
     def counter(self, name: str) -> Counter:
         if not self.enabled:

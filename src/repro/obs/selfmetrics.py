@@ -65,6 +65,9 @@ _COUNTER_NAMES = (
     "sanitizer_violations",
     "watchdog_promotions",
     "faults_injected",
+    "updates_coalesced",
+    "flush_rows_batched",
+    "timer_fastpath_ticks",
 )
 
 
@@ -127,6 +130,9 @@ def collect(daemon: "Ldmsd") -> list[int]:
         daemon.obs.counter("sanitizer.violations").value,
         daemon.obs.counter("watchdog.promotions").value,
         daemon.obs.counter("faults.injected").value,
+        psum("updates_coalesced"),
+        daemon.obs.counter("store.flush_rows_batched").value,
+        daemon.env.timer_fastpath_ticks(),
     ]
     for _, hname in _HISTOGRAMS:
         h = daemon.obs.histogram(hname)
@@ -167,6 +173,9 @@ def render(values: dict[str, int | float], indent: str = "    ") -> str:
         f"stores   : delivered={v['records_delivered']} "
         f"stored={v['records_stored']} errors={v['store_errors']} "
         f"dropped={v['store_dropped']}, flush {lat('store_flush')}",
+        f"fastpath : coalesced={v['updates_coalesced']} "
+        f"batched_rows={v['flush_rows_batched']} "
+        f"timer_ticks={v['timer_fastpath_ticks']}",
         f"end2end  : sample->store {lat('sample_to_store')}",
         f"faults   : injected={v['faults_injected']} "
         f"promotions={v['watchdog_promotions']}",

@@ -43,6 +43,14 @@ class MemoryStore(StorePlugin):
             del self.rows[:evict]
             self.records_dropped += evict
 
+    def store_many(self, records: list[StoreRecord]) -> None:
+        """Vectorized append: one extend + one eviction pass per batch."""
+        self.rows.extend(records)
+        if self.max_rows is not None and len(self.rows) > self.max_rows:
+            evict = len(self.rows) - self.max_rows
+            del self.rows[:evict]
+            self.records_dropped += evict
+
     def flush(self) -> None:
         """No-op: rows are already durable to the store's consumers.
 

@@ -62,6 +62,21 @@ class Resource:
             self._queue.append(ev)
         return ev
 
+    def try_acquire(self) -> bool:
+        """Claim a slot immediately if one is free, allocating no Event.
+
+        The counted-FIFO invariant keeps the wait queue empty whenever a
+        slot is free, so this never jumps queued requesters.  Pair with
+        :meth:`release`.
+        """
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            self.total_grants += 1
+            if self._in_use > self.max_in_use:
+                self.max_in_use = self._in_use
+            return True
+        return False
+
     def _grant(self, ev: Event) -> None:
         self._in_use += 1
         self.total_grants += 1

@@ -172,10 +172,8 @@ class Endpoint:
             self._inc_reads = _noop_inc
             self._inc_read_bytes = _noop_inc
         else:
-            self._inc_frames_rx = registry.counter("transport.frames_rx").inc
-            self._inc_bytes_rx = registry.counter("transport.bytes_rx").inc
-            self._inc_reads = registry.counter("transport.rdma_reads").inc
-            self._inc_read_bytes = registry.counter("transport.rdma_bytes").inc
+            (self._inc_frames_rx, self._inc_bytes_rx,
+             self._inc_reads, self._inc_read_bytes) = registry.endpoint_incs()
 
     # -- messaging ---------------------------------------------------------
     def send(self, frame: bytes) -> None:
@@ -206,6 +204,39 @@ class Endpoint:
         """Fetch the peer's registered region; completion gets the bytes
         or ``None`` if the region is gone / connection failed."""
         raise NotImplementedError
+
+    def rdma_read_multi(
+        self,
+        region_ids: list[int],
+        on_complete: Callable[[list[Optional[bytes]]], None],
+    ) -> None:
+        """Fetch several registered regions in one logical operation.
+
+        ``on_complete`` receives one entry per requested region, in
+        request order (``None`` per region that is gone / failed).  The
+        base implementation gathers N independent :meth:`rdma_read`
+        completions; transports with a native batch override this to
+        amortise framing and wire hops over the whole batch (§IV-D
+        update coalescing).
+        """
+        n = len(region_ids)
+        if n == 0:
+            on_complete([])
+            return
+        results: list[Optional[bytes]] = [None] * n
+        remaining = [n]
+
+        def _gather(i: int):
+            def cb(data: Optional[bytes]) -> None:
+                results[i] = data
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    on_complete(results)
+
+            return cb
+
+        for i, rid in enumerate(region_ids):
+            self.rdma_read(rid, _gather(i))
 
     def close(self) -> None:
         raise NotImplementedError

@@ -151,8 +151,16 @@ class _SimEndpoint(Endpoint):
 
     def _wire_delay(self, nbytes: int, dst) -> float:
         p = self.transport.profile
-        extra = self.fabric._account(self.node_id, dst, nbytes)
-        faults = self.fabric.faults
+        fabric = self.fabric
+        if fabric.traffic_cb is None and fabric.latency_fn is None:
+            # No network-model hooks (the common sweep configuration):
+            # account inline rather than through _account.
+            fabric.total_bytes += nbytes
+            fabric.total_messages += 1
+            extra = 0.0
+        else:
+            extra = fabric._account(self.node_id, dst, nbytes)
+        faults = fabric.faults
         if faults.active:
             extra += faults.extra_latency(self.node_id, dst)
         return p.base_latency + nbytes * p.per_byte + extra
@@ -170,7 +178,15 @@ class _SimEndpoint(Endpoint):
             faults.frames_dropped += 1
             return
         delay = self._wire_delay(len(frame), peer.node_id)
-        self.engine.call_later(delay, lambda: (not peer.closed) and peer._deliver(frame))
+        # Bound method + timer args instead of a per-frame closure: the
+        # fan-in hot path sends tens of thousands of frames per simulated
+        # second, and each closure cell is an allocation the timer wheel
+        # otherwise avoids.
+        self.engine.call_later(delay, peer._deliver_if_open, frame)
+
+    def _deliver_if_open(self, frame: bytes) -> None:
+        if not self.closed:
+            self._deliver(frame)
 
     def rdma_read(self, region_id: int, on_complete) -> None:
         if self.closed or self.peer is None:
@@ -184,44 +200,109 @@ class _SimEndpoint(Endpoint):
             # the transport's detection latency, never silently hangs —
             # the in-flight flag must always be released.
             faults.reads_failed += 1
-            self.engine.call_later(p.base_latency, lambda: on_complete(None))
+            self.engine.call_later(p.base_latency, on_complete, None)
             return
         # Request travels to the target...
         req_delay = self._wire_delay(64, peer.node_id)
+        self.engine.call_later(req_delay, self._read_at_target, region_id, on_complete)
 
-        def at_target() -> None:
-            faults_now = self.fabric.faults
-            if faults_now.active and faults_now.blocked(self.node_id, peer.node_id):
-                # Link went down mid-flight: completion error on the
-                # initiator after the detection latency.
-                faults_now.reads_failed += 1
-                self.engine.call_later(p.base_latency, lambda: on_complete(None))
-                return
-            if peer.closed:
-                self.engine.call_later(p.base_latency, lambda: on_complete(None))
-                return
-            reader = peer._regions.get(region_id)
-            data = bytes(reader()) if reader is not None else None
-            nbytes = len(data) if data is not None else 0
-            # Target CPU cost (zero for true RDMA).
-            cost = p.target_cpu_per_read + nbytes * p.target_cpu_per_byte
-            if cost > 0.0 and peer.transport.core is not None:
-                peer.transport.core.add_noise(self.engine.now, cost, tag="netmon")
-            reply_delay = cost + peer._wire_delay(nbytes, self.node_id)
-            if data is not None:
-                self._account_read(nbytes)
+    def _read_at_target(self, region_id: int, on_complete) -> None:
+        peer = self.peer
+        p = self.transport.profile
+        faults = self.fabric.faults
+        if faults.active and faults.blocked(self.node_id, peer.node_id):
+            # Link went down mid-flight: completion error on the
+            # initiator after the detection latency.
+            faults.reads_failed += 1
+            self.engine.call_later(p.base_latency, on_complete, None)
+            return
+        if peer is None or peer.closed:
+            self.engine.call_later(p.base_latency, on_complete, None)
+            return
+        reader = peer._regions.get(region_id)
+        data = bytes(reader()) if reader is not None else None
+        nbytes = len(data) if data is not None else 0
+        # Target CPU cost (zero for true RDMA).
+        cost = p.target_cpu_per_read + nbytes * p.target_cpu_per_byte
+        if cost > 0.0 and peer.transport.core is not None:
+            peer.transport.core.add_noise(self.engine.now, cost, tag="netmon")
+        reply_delay = cost + peer._wire_delay(nbytes, self.node_id)
+        if data is not None:
+            self._account_read(nbytes)
+        self.engine.call_later(reply_delay, self._read_complete, on_complete, data)
 
-            def complete() -> None:
-                # Initiator CPU to reap the completion.
-                if self.transport.core is not None and p.initiator_cpu_per_read > 0:
-                    self.transport.core.add_noise(
-                        self.engine.now, p.initiator_cpu_per_read, tag="agg"
-                    )
-                on_complete(data)
+    def _read_complete(self, on_complete, data) -> None:
+        # Initiator CPU to reap the completion.
+        p = self.transport.profile
+        if self.transport.core is not None and p.initiator_cpu_per_read > 0:
+            self.transport.core.add_noise(
+                self.engine.now, p.initiator_cpu_per_read, tag="agg"
+            )
+        on_complete(data)
 
-            self.engine.call_later(reply_delay, complete)
+    def rdma_read_multi(self, region_ids, on_complete) -> None:
+        """Coalesced batch read: one request hop, one reply hop.
 
-        self.engine.call_later(req_delay, at_target)
+        Cost semantics match N single reads exactly for CPU (per-read
+        target and initiator charges are summed), so §IV-D utilization
+        numbers are unchanged; only the per-message wire latency and the
+        simulator's event count are amortised over the batch — which is
+        the point of update coalescing.
+        """
+        n = len(region_ids)
+        if self.closed or self.peer is None:
+            on_complete([None] * n)
+            return
+        peer = self.peer
+        p = self.transport.profile
+        faults = self.fabric.faults
+        if faults.active and faults.blocked(self.node_id, peer.node_id):
+            faults.reads_failed += 1
+            self.engine.call_later(p.base_latency, on_complete, [None] * n)
+            return
+        # One request frame naming all N regions (8 bytes per id).
+        req_delay = self._wire_delay(64 + 8 * n, peer.node_id)
+        self.engine.call_later(req_delay, self._multi_at_target, region_ids, on_complete)
+
+    def _multi_at_target(self, region_ids, on_complete) -> None:
+        peer = self.peer
+        p = self.transport.profile
+        n = len(region_ids)
+        faults = self.fabric.faults
+        if faults.active and faults.blocked(self.node_id, peer.node_id):
+            faults.reads_failed += 1
+            self.engine.call_later(p.base_latency, on_complete, [None] * n)
+            return
+        if peer is None or peer.closed:
+            self.engine.call_later(p.base_latency, on_complete, [None] * n)
+            return
+        regions = peer._regions
+        results: list = []
+        nbytes = 0
+        for rid in region_ids:
+            reader = regions.get(rid)
+            if reader is None:
+                results.append(None)
+            else:
+                data = bytes(reader())
+                nbytes += len(data)
+                results.append(data)
+        cost = n * p.target_cpu_per_read + nbytes * p.target_cpu_per_byte
+        if cost > 0.0 and peer.transport.core is not None:
+            peer.transport.core.add_noise(self.engine.now, cost, tag="netmon")
+        # One reply frame: per-region 8-byte status/len headers + data.
+        reply_delay = cost + peer._wire_delay(nbytes + 8 * n, self.node_id)
+        if nbytes:
+            self._account_read(nbytes)
+        self.engine.call_later(reply_delay, self._multi_complete, results, on_complete)
+
+    def _multi_complete(self, results, on_complete) -> None:
+        p = self.transport.profile
+        if self.transport.core is not None and p.initiator_cpu_per_read > 0:
+            self.transport.core.add_noise(
+                self.engine.now, len(results) * p.initiator_cpu_per_read, tag="agg"
+            )
+        on_complete(results)
 
     def close(self) -> None:
         if self.closed:

@@ -24,6 +24,25 @@ from repro.util.errors import TransportError
 __all__ = ["SockTransport"]
 
 
+class _MultiRead:
+    """Pending coalesced read.
+
+    Lives in ``_pending_reads`` alongside plain single-read callbacks;
+    calling it (the connection-failure path in ``_fail_pending``) fails
+    every region in the batch, while a ``RDMA_READ_MULTI_REPLY`` frame
+    dispatches straight to ``on_complete`` with the unpacked parts.
+    """
+
+    __slots__ = ("n", "on_complete")
+
+    def __init__(self, n: int, on_complete):
+        self.n = n
+        self.on_complete = on_complete
+
+    def __call__(self, _data) -> None:
+        self.on_complete([None] * self.n)
+
+
 class _SockEndpoint(Endpoint):
     def __init__(self, sock: socket.socket):
         super().__init__()
@@ -70,6 +89,30 @@ class _SockEndpoint(Endpoint):
         except TransportError:
             self._pending_reads.pop(rid, None)
             on_complete(None)
+
+    def rdma_read_multi(self, region_ids, on_complete) -> None:
+        """Native coalesced read: one request frame, one reply frame,
+        one reader-thread dispatch for the whole batch."""
+        n = len(region_ids)
+        if n == 0:
+            on_complete([])
+            return
+        if self.closed:
+            on_complete([None] * n)
+            return
+        rid = next(self._read_id)
+        self._pending_reads[rid] = _MultiRead(n, on_complete)
+        try:
+            self.send(
+                wire.encode_frame(
+                    wire.MsgType.RDMA_READ_MULTI_REQ,
+                    rid,
+                    wire.pack_read_multi_req(list(region_ids)),
+                )
+            )
+        except TransportError:
+            self._pending_reads.pop(rid, None)
+            on_complete([None] * n)
 
     def close(self) -> None:
         if self.closed:
@@ -126,6 +169,30 @@ class _SockEndpoint(Endpoint):
                 data = frame.payload[4:]
                 self._account_read(len(data))
                 cb(data if status == wire.E_OK else None)
+            return
+        if frame.msg_type == wire.MsgType.RDMA_READ_MULTI_REQ:
+            regions = self._regions
+            parts = []
+            for region_id in wire.unpack_read_multi_req(frame.payload):
+                reader = regions.get(region_id)
+                parts.append(bytes(reader()) if reader is not None else None)
+            try:
+                self.send(
+                    wire.encode_frame(
+                        wire.MsgType.RDMA_READ_MULTI_REPLY,
+                        frame.request_id,
+                        wire.pack_read_multi_reply(parts),
+                    )
+                )
+            except TransportError:
+                pass
+            return
+        if frame.msg_type == wire.MsgType.RDMA_READ_MULTI_REPLY:
+            mr = self._pending_reads.pop(frame.request_id, None)
+            if mr is not None:
+                parts = wire.unpack_read_multi_reply(frame.payload)
+                self._account_read(sum(len(p) for p in parts if p is not None))
+                mr.on_complete(parts)
             return
         # Application frame: re-encode not needed; hand up the raw frame.
         self._deliver(

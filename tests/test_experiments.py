@@ -46,9 +46,9 @@ class TestFanin:
         from repro.experiments.fanin import max_fanin, sweep_transport
 
         sock = max_fanin(sweep_transport("sock", [96, 144, 192],
-                                         duration=20.0))
+                                         duration=20.0, scale=64))
         ugni = max_fanin(sweep_transport("ugni", [192, 256, 320],
-                                         duration=20.0))
+                                         duration=20.0, scale=64))
         assert sock == 144
         assert ugni == 256
         assert ugni > sock

@@ -266,7 +266,7 @@ class TestPeekAndMirrorDecode:
 
 class TestAggregatorEarlyOut:
     """Acceptance: when the DGN has not advanced, no StoreRecord is
-    emitted and no data copy occurs (apply_data is never called)."""
+    emitted and no data copy occurs (_install is never called)."""
 
     def _world(self):
         eng = Engine()
@@ -289,13 +289,13 @@ class TestAggregatorEarlyOut:
         eng, samp, agg = self._world()
         store = agg.add_store("memory")
         installs = []
-        orig = MetricSet.apply_data
+        orig = MetricSet._install
 
-        def counting_apply(self, raw):
+        def counting_install(self, raw, dgn, consistent):
             installs.append(self.name)
-            return orig(self, raw)
+            return orig(self, raw, dgn, consistent)
 
-        monkeypatch.setattr(MetricSet, "apply_data", counting_apply)
+        monkeypatch.setattr(MetricSet, "_install", counting_install)
         agg.add_producer("s0", "rdma", "s0:411", interval=0.25,
                          sets=("s0/syn",))
         eng.run(until=20.0)
