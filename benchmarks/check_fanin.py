@@ -5,19 +5,26 @@ Two checks, both machine-independent:
 
 1. **Relative regression bound.**  The at-capacity sock sweep point
    (9,216 samplers) is timed with the toggleable fast paths enabled
-   (timer wheel + coalesced batch flush + GC pause) and disabled
-   (``REPRO_TIMER_WHEEL=0`` / ``REPRO_BATCH_FLUSH=0`` /
-   ``REPRO_GC_PAUSE=0``), in strict alternation so both variants see
-   the same interference.  The speedup must stay above
-   ``MIN_SPEEDUP``; external noise can only shrink the measured
+   (timer wheel + coalesced batch flush + GC pause + columnar arena)
+   and disabled (``REPRO_TIMER_WHEEL=0`` / ``REPRO_BATCH_FLUSH=0`` /
+   ``REPRO_GC_PAUSE=0`` / ``REPRO_ARENA=0``), in strict alternation
+   so both variants see the same interference.  The speedup must stay
+   above ``MIN_SPEEDUP``; external noise can only shrink the measured
    ratio, never inflate it, so a pass is trustworthy on shared
    runners.  The fast-path gains are superlinear in fan-in (the GC
    pause and the wheel matter most when millions of events are live),
    so the bound is checked at full scale where the signal is
-   strongest — measured ~1.6x on a quiet machine, floor 1.3x.  The
-   unconditional micro-optimisations (block descriptor unpack, meta
-   memcpy mirroring, inline pool grants) have no off switch and are
-   deliberately present in *both* variants.
+   strongest — measured ~1.6x on a quiet machine before the arena
+   landed, floor 1.3x.  The unconditional micro-optimisations (block
+   descriptor unpack, meta memcpy mirroring, inline pool grants) have
+   no off switch and are deliberately present in *both* variants.
+
+   Event counts are *logical* events: heap-processed events plus the
+   per-member events the sampler cohorts materialize inside vectorized
+   sweeps (``engine.vectorized_events``).  The sum is invariant across
+   the arena toggle — a cohort sweep does the same logical work the
+   scalar timers and pool tasks did — so events/s stays comparable
+   across variants and across releases.
 
 2. **Full-scale knee.**  The complete full-scale sock sweep (up to
    10,229 samplers) runs once with the fast paths on; the knee must
@@ -44,7 +51,8 @@ INTERVAL = 5.0
 METRICS = 10
 DURATION = 30.0
 
-_FAST_VARS = ("REPRO_TIMER_WHEEL", "REPRO_BATCH_FLUSH", "REPRO_GC_PAUSE")
+_FAST_VARS = ("REPRO_TIMER_WHEEL", "REPRO_BATCH_FLUSH", "REPRO_GC_PAUSE",
+              "REPRO_ARENA")
 
 #: Full sweep measured on the reference dev box before the fast-path
 #: work landed (plain binary-heap scheduler, per-record flush, per-set
@@ -64,12 +72,15 @@ def _set_fastpath(enabled: bool) -> None:
 
 
 def _run_point(n: int, scale: int,
-               pause_build: bool = False) -> tuple[float, int, float]:
-    """Build+run one sweep point: (wall s, events, completeness).
+               pause_build: bool = False) -> tuple[float, int, int, float]:
+    """Build+run one sweep point: (wall s, events, vectorized, completeness).
 
-    ``pause_build`` reproduces ``sweep_transport``'s unconditional GC
-    pause around build+run (the shipped sweep path); the relative A/B
-    leaves it off so ``REPRO_GC_PAUSE`` is the only GC difference.
+    ``events`` is the logical event count — heap-processed plus
+    cohort-vectorized member events — so it is invariant across the
+    ``REPRO_ARENA`` toggle.  ``pause_build`` reproduces
+    ``sweep_transport``'s unconditional GC pause around build+run (the
+    shipped sweep path); the relative A/B leaves it off so
+    ``REPRO_GC_PAUSE`` is the only GC difference.
     """
     from repro.experiments.fanin import _build
 
@@ -87,7 +98,8 @@ def _run_point(n: int, scale: int,
             gc.enable()
     expected = n * (DURATION / INTERVAL - 1)
     completeness = min(len(store.rows) / expected, 1.0)
-    return wall, eng.events_processed, completeness
+    events = eng.events_processed + eng.vectorized_events
+    return wall, events, eng.vectorized_events, completeness
 
 
 def check_relative() -> float:
@@ -97,13 +109,14 @@ def check_relative() -> float:
     best = 0.0
     for trial in range(TRIALS):
         _set_fastpath(True)
-        fast_wall, fast_events, _ = _run_point(n, 1)
+        fast_wall, fast_events, _, _ = _run_point(n, 1)
         _set_fastpath(False)
-        slow_wall, slow_events, _ = _run_point(n, 1)
+        slow_wall, slow_events, _, _ = _run_point(n, 1)
         _set_fastpath(True)
         speedup = slow_wall / fast_wall
-        print(f"trial {trial}: fast {fast_wall:6.2f}s ({fast_events} ev)   "
-              f"slow {slow_wall:6.2f}s ({slow_events} ev)   "
+        print(f"trial {trial}: "
+              f"fast {fast_wall:6.2f}s ({int(fast_events / fast_wall)} ev/s)  "
+              f"slow {slow_wall:6.2f}s ({int(slow_events / slow_wall)} ev/s)  "
               f"speedup {speedup:.2f}x")
         best = max(best, speedup)
         if best >= MIN_SPEEDUP:
@@ -122,13 +135,17 @@ def check_full_scale() -> dict:
     total_wall = 0.0
     total_events = 0
     for n in sizes:
-        wall, events, completeness = _run_point(n, scale=1, pause_build=True)
+        wall, events, vectorized, completeness = _run_point(
+            n, scale=1, pause_build=True)
         per_point.append({"n_samplers": n, "wall_s": round(wall, 3),
                           "events": events,
+                          "vectorized_events": vectorized,
+                          "events_per_s": int(events / wall),
                           "completeness": round(completeness, 4)})
         total_wall += wall
         total_events += events
         print(f"  n={n:6d}  wall {wall:6.2f}s  events {events:8d}  "
+              f"({int(events / wall):7d} ev/s, {vectorized} vectorized)  "
               f"completeness {completeness:.4f}")
     knee = max(p["n_samplers"] for p in per_point
                if p["completeness"] >= 0.99)
@@ -143,6 +160,8 @@ def check_full_scale() -> dict:
         "points": per_point,
         "total_wall_s": round(total_wall, 2),
         "total_events": total_events,
+        "events_note": ("events = heap-processed + cohort-vectorized "
+                        "member events (invariant across REPRO_ARENA)"),
         "events_per_s": int(total_events / total_wall),
         "pre_fastpath_baseline": _PRE_FASTPATH_BASELINE,
         "speedup_vs_baseline": round(

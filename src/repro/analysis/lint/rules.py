@@ -275,6 +275,69 @@ class ChunkDisciplineRule(Rule):
 
 
 @register_rule
+class ArenaSweepDisciplineRule(Rule):
+    """Arena sweep modules stay columnar: no per-row loops or struct.
+
+    The columnar data plane's whole point is that a sweep touches every
+    member row of a block with one numpy fancy-indexed operation
+    (``blk.flags[rows] = 0``) and serializes with one ``tobytes()`` per
+    block.  A Python ``for`` loop that indexes a header/value column
+    one row at a time, or a ``struct.pack`` call, silently reintroduces
+    the per-set scalar cost the arena exists to amortize — correctness
+    is unaffected, so only the benchmark would catch it.
+    """
+
+    rule_id = "arena-sweep-discipline"
+    description = "arena sweeps: no per-row column writes or struct.pack"
+    paper_ref = "§IV-A collection scaling, §IV-D update coalescing"
+    default_packages = ("repro.core.set_arena",)
+    interests = (ast.For, ast.Call)
+
+    #: ArenaBlock column views a sweep may only touch via fancy indexing.
+    COLUMN_ATTRS = frozenset({"block", "mgn", "dgn", "flags", "ts",
+                              "values_mat"})
+
+    def visit(self, node, ctx) -> None:
+        if isinstance(node, ast.Call):
+            name = ctx.resolve_call(node.func)
+            if name in ("struct.pack", "struct.pack_into"):
+                ctx.report(self, node,
+                           f"{name}() in an arena sweep module — serialize "
+                           f"whole blocks with tobytes()/frombuffer")
+            return
+        # A `for` over a single scalar name that indexes block columns
+        # row-by-row.  Group sweeps unpack (block, rows) tuples and
+        # fancy-index with the whole rows array, so tuple targets pass.
+        target = node.target
+        if not isinstance(target, ast.Name):
+            return
+        if (isinstance(node.iter, ast.Attribute)
+                and node.iter.attr in self.COLUMN_ATTRS):
+            ctx.report(self, node,
+                       f"iterating .{node.iter.attr} rows one at a time — "
+                       f"sweep the whole block with a vectorized op")
+            return
+        for sub in ast.walk(node):
+            tgt = None
+            if isinstance(sub, (ast.Assign, ast.AugAssign)):
+                tgts = sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                for t in tgts:
+                    if (isinstance(t, ast.Subscript)
+                            and isinstance(t.value, ast.Attribute)
+                            and t.value.attr in self.COLUMN_ATTRS
+                            and any(isinstance(n, ast.Name)
+                                    and n.id == target.id
+                                    for n in ast.walk(t.slice))):
+                        tgt = t
+                        break
+            if tgt is not None:
+                ctx.report(self, tgt,
+                           f"per-row write to .{tgt.value.attr} inside a "
+                           f"for loop — batch the rows and fancy-index the "
+                           f"column once")
+
+
+@register_rule
 class SwallowedExceptRule(Rule):
     """No silent ``except Exception: pass`` in the pipeline layers.
 

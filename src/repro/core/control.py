@@ -269,12 +269,23 @@ class ControlChannel:
         return json.dumps(self.daemon.stats())
 
     def _cmd_prof(self, attrs) -> str:
-        """Histogram dumps: per-stage latency buckets (µs-scale)."""
+        """Histogram dumps: per-stage latency buckets (µs-scale), plus
+        the columnar-arena sweep profile."""
+        d = self.daemon
         return json.dumps(
             {
-                "name": self.daemon.name,
-                "histograms": self.daemon.obs.dump_histograms(),
-                "traces": [t.as_dict() for t in self.daemon.tracer.last()],
+                "name": d.name,
+                "histograms": d.obs.dump_histograms(),
+                "traces": [t.as_dict() for t in d.tracer.last()],
+                "arena": {
+                    "sweeps": d.obs.counter("arena.sweeps").value,
+                    "rows_vectorized":
+                        d.obs.counter("arena.rows_vectorized").value,
+                    "fallback_sets":
+                        d.obs.counter("arena.fallback_sets").value,
+                    "pool": (d.set_pool.stats()
+                             if d.set_pool is not None else None),
+                },
             }
         )
 

@@ -410,9 +410,20 @@ class _SimPool(WorkerPool):
 class SimEnv(Env):
     """Environment bound to a simulation engine."""
 
-    def __init__(self, engine: Engine):
+    def __init__(self, engine: Engine, arena: bool | None = None):
         self.engine = engine
         self.pools: list[_SimPool] = []
+        # Columnar data plane (REPRO_ARENA): one shared set-arena pool
+        # and sampler-cohort scheduler per environment.  None when
+        # reverted, which every consumer treats as "scalar path".
+        from repro.core.set_arena import CohortScheduler, SetArenaPool, arena_default
+
+        if arena_default() if arena is None else bool(arena):
+            self.set_arena_pool: Optional[SetArenaPool] = SetArenaPool()
+            self.cohort_scheduler: Optional[CohortScheduler] = CohortScheduler(engine)
+        else:
+            self.set_arena_pool = None
+            self.cohort_scheduler = None
 
     def now(self) -> float:
         return self.engine._now  # skip the property hop: hottest call in a sweep

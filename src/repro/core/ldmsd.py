@@ -65,6 +65,31 @@ def _batch_flush_default() -> bool:
     return os.environ.get("REPRO_BATCH_FLUSH", "1") not in ("0", "false", "off")
 
 
+class _StagedRow:
+    """A store delivery staged as a raw arena-row snapshot.
+
+    On the columnar path the aggregator defers record construction to
+    the flush batch, where all staged rows of one schema decode as a
+    single 2-D array sweep.  The snapshot is taken at delivery time, so
+    a mirror re-installed before the flush drains cannot retroactively
+    change what gets stored.  ``values = None`` marks the row as staged
+    for :meth:`_FlushBatch.seal`, which prices it by ``card`` exactly
+    like a materialized record.
+    """
+
+    __slots__ = ("data", "ts", "producer", "schema", "card", "mirror")
+
+    values = None
+
+    def __init__(self, data: bytes, ts: float, producer: str, mirror: MetricSet):
+        self.data = data
+        self.ts = ts
+        self.producer = producer
+        self.schema = mirror.schema
+        self.card = mirror.card
+        self.mirror = mirror
+
+
 class _FlushBatch:
     """Pending rows for one store, drained in bulk by a flush task.
 
@@ -95,7 +120,10 @@ class _FlushBatch:
             self.rows = rows[self.maxrows:]
         cost = STORE_BASE_COST * len(self.sealed)
         for record, _t, _tr in self.sealed:
-            cost += STORE_PER_METRIC_COST * len(record.values)
+            vals = record.values
+            cost += STORE_PER_METRIC_COST * (
+                record.card if vals is None else len(vals)
+            )
         return cost
 
 
@@ -197,6 +225,16 @@ class Ldmsd:
         self._c_dir_req = self.obs.counter("serve.dir_req")
         self._c_lookup_req = self.obs.counter("serve.lookup_req")
         self._c_update_req = self.obs.counter("serve.update_req")
+        self._c_arena_sweeps = self.obs.counter("arena.sweeps")
+        self._c_arena_rows = self.obs.counter("arena.rows_vectorized")
+        self._c_arena_fallback = self.obs.counter("arena.fallback_sets")
+
+        #: Columnar data plane (REPRO_ARENA): the environment-wide
+        #: set-arena pool and sampler-cohort scheduler, or None when
+        #: reverted / under RealEnv.  All sets this daemon creates or
+        #: mirrors are arena-row-backed when the pool is present.
+        self.set_pool = getattr(env, "set_arena_pool", None)
+        self._cohort_scheduler = getattr(env, "cohort_scheduler", None)
 
         self.worker_pool = env.make_pool(f"{name}/worker", workers)
         self.conn_pool = env.make_pool(f"{name}/conn", conn_threads)
@@ -211,11 +249,14 @@ class Ldmsd:
 
         self._sets: dict[str, MetricSet] = {}
         self._region_ids: dict[str, int] = {}
+        self._region_names: dict[int, str] = {}
         self._next_region = 1
         self._plugins: dict[str, SamplerPlugin] = {}
         self._schedules: dict[str, _SamplerSchedule] = {}
         self.producers: dict[str, Producer] = {}
         self.stores: list[StorePlugin] = []
+        #: Bumped by add_store; invalidates per-mirror store-match caches.
+        self._stores_version = 0
         self._listeners: list[Listener] = []
         self._served_endpoints: list[Endpoint] = []
         #: advertisement name -> mutable state shared with its retry
@@ -235,7 +276,8 @@ class Ldmsd:
             if name in self._sets:
                 raise ConfigError(f"metric set {name!r} already exists")
             try:
-                mset = MetricSet.create(name, schema, metrics, self.arena)
+                mset = MetricSet.create(name, schema, metrics, self.arena,
+                                        pool=self.set_pool)
             except OutOfMemory:
                 # Arena exhaustion is an operator-visible event (the
                 # paper sizes set memory up front, §IV-B): count it so
@@ -321,6 +363,35 @@ class Ldmsd:
             # and the begin/finish callables need not be rebuilt per
             # firing.
             sample_cost = plugin.sample_cost
+
+            # Columnar fast path: same-phase, same-pattern samplers ride
+            # one cohort sweep (one timer + one finish event for the
+            # whole node class) instead of per-instance events.  The
+            # scalar path below is the REPRO_ARENA=0 behavior and the
+            # fallback for anything the sweep cannot vectorize.
+            sched = self._cohort_scheduler
+            if sched is not None:
+                veckey = plugin.cohort_key()
+                mset = plugin._sets[0] if len(plugin._sets) == 1 else None
+                if (veckey is not None and mset is not None
+                        and mset._ab is not None
+                        and mset._ab.values_mat is not None
+                        and sample_cost < interval):
+                    handle = sched.register(
+                        self, plugin, interval,
+                        synchronous=offset is not None,
+                        offset=offset or 0.0,
+                        cost=sample_cost, veckey=veckey,
+                    )
+                    self._schedules[instance] = _SamplerSchedule(
+                        plugin, interval, handle
+                    )
+                    return
+                # Arena on but this sampler can't ride a cohort sweep
+                # (no vectorization key, multi-set, mixed layout, or
+                # cost >= interval): it stays on the scalar path.
+                self._c_arena_fallback.inc()
+
             begin = partial(self._begin_sample, plugin)
             finish = partial(self._finish_sample, plugin)
             submit = self.worker_pool.submit
@@ -391,6 +462,10 @@ class Ldmsd:
     def _on_peer_connect(self, endpoint: Endpoint) -> None:
         endpoint.obs = self.obs
         endpoint.on_message = lambda raw: self._serve(endpoint, raw)
+        if self.set_pool is not None:
+            # Columnar serve path: coalesced reads gather every
+            # same-layout region with one tobytes() sweep.
+            endpoint.set_multi_reader(self._read_regions)
         # Prune on close, or served endpoints accumulate forever on a
         # long-lived daemon whose peers churn.
         endpoint.on_close = lambda: self._drop_served(endpoint)
@@ -464,11 +539,60 @@ class Ldmsd:
             rid = self._next_region
             self._next_region += 1
             self._region_ids[set_name] = rid
+            # Append-only reverse map: an endpoint's registered reader
+            # closure survives set deletion (it reads by name), so the
+            # batch reader must keep resolving old region ids the same
+            # way for as long as the daemon lives.
+            self._region_names[rid] = set_name
         return rid
 
     def _read_region(self, set_name: str) -> bytes:
         mset = self._sets.get(set_name)
         return mset.data_bytes() if mset is not None else b""
+
+    def _read_regions(self, region_ids, registered) -> list:
+        """Batch serve: serialize coalesced-read regions in one sweep.
+
+        Same-schema sets on this daemon are rows of one columnar block,
+        so the reply frames of an ``rdma_read_multi`` gather as a single
+        fancy-index + ``tobytes()`` over the block instead of one
+        ``bytes(view)`` copy per set.  Output is byte-identical to
+        calling each region's registered reader: regions not registered
+        on this endpoint come back None, deleted sets come back ``b""``.
+        """
+        out: list = [None] * len(region_ids)
+        names = self._region_names
+        sets = self._sets
+        groups: dict = {}
+        for i, rid in enumerate(region_ids):
+            if rid not in registered:
+                continue
+            mset = sets.get(names.get(rid))
+            if mset is None:
+                out[i] = b""
+                continue
+            ab = mset._ab
+            if ab is None:
+                out[i] = mset.data_bytes()
+                continue
+            if mset._shadow is not None:
+                sanitize.check(mset, "data_bytes")
+            entry = groups.get(ab)
+            if entry is None:
+                entry = groups[ab] = ([], [])
+            entry[0].append(i)
+            entry[1].append(mset._arow)
+        for ab, (idxs, arows) in groups.items():
+            if len(idxs) == 1:
+                out[idxs[0]] = ab.block[arows[0]].tobytes()
+                continue
+            blob = ab.block[arows].tobytes()
+            size = ab.data_size
+            for j, i in enumerate(idxs):
+                out[i] = blob[j * size:(j + 1) * size]
+            self._c_arena_sweeps.inc()
+            self._c_arena_rows.inc(len(idxs))
+        return out
 
     # ------------------------------------------------------------------
     # aggregator side
@@ -653,12 +777,34 @@ class Ldmsd:
                 metrics=tuple(metrics) if metrics else None,
             )
             self.stores.append(store)
+            self._stores_version += 1
             return store
+
+    def _matching_stores(self, mirror: MetricSet, producer_name: str) -> tuple:
+        """Stores whose policy matches this mirror, cached on the mirror.
+
+        Policy inputs (schema, producer) are frozen per (mirror,
+        producer) pair, so the filter runs once per mirror lifetime
+        rather than once per delivered record; the cache invalidates
+        when a store is added (``_stores_version``)."""
+        cached = getattr(mirror, "_store_match", None)
+        if cached is not None and cached[0] == self._stores_version:
+            return cached[1]
+        matched = tuple(
+            s for s in self.stores
+            if s.policy.matches_keys(mirror.schema, producer_name)
+        )
+        mirror._store_match = (self._stores_version, matched)
+        return matched
 
     def _deliver_to_stores(
         self, producer: Producer, mirror: MetricSet, trace=None
     ) -> None:
         if not self.stores:
+            return
+        if (self.batch_flush and self.set_pool is not None
+                and mirror._ab is not None):
+            self._deliver_staged(producer, mirror, trace)
             return
         record = StoreRecord.from_set(mirror, producer.cfg.name)
         self.records_delivered += 1
@@ -697,6 +843,46 @@ class Ldmsd:
         if not matched:
             self._c_store_no_match.inc()
 
+    def _deliver_staged(
+        self, producer: Producer, mirror: MetricSet, trace=None
+    ) -> None:
+        """Columnar delivery: stage a raw arena-row snapshot per store.
+
+        Accounting (delivery count, sample->store latency, no-match
+        counter, trace stamps) matches the per-record path exactly;
+        only :class:`StoreRecord` construction moves into the flush
+        drain, where every staged row of one layout decodes as a single
+        2-D numpy sweep.  The snapshot pins the delivered bytes, so a
+        mirror re-installed before the drain cannot change what is
+        stored.
+        """
+        if mirror._shadow is not None:
+            sanitize.check_read(mirror)
+        self.records_delivered += 1
+        now = self.env.now()
+        ts = mirror.timestamp
+        if trace is not None:
+            trace.t_store_submit = now
+            trace.sample_ts = ts
+        self._h_sample_to_store.observe(max(now - ts, 0.0))
+        stores = self._matching_stores(mirror, producer.cfg.name)
+        if not stores:
+            self._c_store_no_match.inc()
+            return
+        staged = _StagedRow(bytes(mirror._data), ts, producer.cfg.name, mirror)
+        for store in stores:
+            batch = self._flush_batches.get(store)
+            if batch is None:
+                batch = _FlushBatch(store, self.flush_batch_max)
+                self._flush_batches[store] = batch
+            batch.rows.append((staged, now, trace))
+            if not batch.scheduled:
+                batch.scheduled = True
+                self.flush_pool.submit(
+                    partial(self._flush_batched, batch),
+                    cost=batch.seal, core=self.core, tag="store",
+                )
+
     def _flush_record(self, store: StorePlugin, record: StoreRecord,
                       t_submit: float, trace) -> None:
         """Flush-pool task: write one record, time it, survive failures."""
@@ -733,10 +919,68 @@ class Ldmsd:
         else:
             batch.scheduled = False
 
+    #: Staged groups below this size decode row-by-row: reshaping a
+    #: couple of rows through numpy costs more than two struct unpacks.
+    _VEC_MIN_ROWS = 4
+
+    def _materialize_rows(self, rows: list[tuple]) -> list[StoreRecord]:
+        """Turn a drained batch into records, vectorizing staged rows.
+
+        Staged rows sharing one compiled layout are joined into a
+        single (n_rows, data_size) uint8 matrix; one strided view +
+        ``tolist()`` then decodes every value of every row — the
+        store-side half of the §IV-D claim that per-record costs must
+        not scale with fan-in.  The decoded Python values are exactly
+        what per-row ``struct`` unpacking yields, so downstream
+        formatting is byte-identical.
+        """
+        out: list = [None] * len(rows)
+        groups: dict = {}
+        for i, (row, _t, _tr) in enumerate(rows):
+            if row.values is not None:  # already a materialized record
+                out[i] = row
+            else:
+                groups.setdefault(row.mirror._compiled, []).append(i)
+        for cs, idxs in groups.items():
+            dtype = cs.array_dtype
+            if dtype is not None and len(idxs) >= self._VEC_MIN_ROWS:
+                import numpy as np
+
+                first = rows[idxs[0]][0]
+                width = first.card * np.dtype(dtype).itemsize
+                mat = np.frombuffer(
+                    b"".join(rows[i][0].data for i in idxs), dtype=np.uint8
+                ).reshape(len(idxs), len(first.data))
+                vals = (mat[:, cs.first_offset:cs.first_offset + width]
+                        .view(dtype).tolist())
+                self._c_arena_sweeps.inc()
+                self._c_arena_rows.inc(len(idxs))
+                for j, i in enumerate(idxs):
+                    sr = rows[i][0]
+                    m = sr.mirror
+                    out[i] = StoreRecord(
+                        timestamp=sr.ts, producer=sr.producer,
+                        set_name=m.name, schema=m.schema, names=m._names,
+                        component_ids=m._comp_ids, values=tuple(vals[j]),
+                        mtypes=cs.mtypes,
+                    )
+            else:
+                for i in idxs:
+                    sr = rows[i][0]
+                    m = sr.mirror
+                    out[i] = StoreRecord(
+                        timestamp=sr.ts, producer=sr.producer,
+                        set_name=m.name, schema=m.schema, names=m._names,
+                        component_ids=m._comp_ids,
+                        values=m.snapshot_values(sr.data),
+                        mtypes=cs.mtypes,
+                    )
+        return out
+
     def _flush_rows(self, store: StorePlugin, rows: list[tuple]) -> None:
         """Write one drained batch and account per-row flush latency."""
         n = len(rows)
-        failed = store.submit_many([record for record, _t, _tr in rows])
+        failed = store.submit_many(self._materialize_rows(rows))
         self._c_flush_rows_batched.inc(n)
         self._h_flush_batch_rows.observe(n)
         if failed:
@@ -774,6 +1018,8 @@ class Ldmsd:
                     for name, p in self.producers.items()
                 },
                 "records_delivered": self.records_delivered,
+                "set_pool": (self.set_pool.stats()
+                             if self.set_pool is not None else None),
                 "stores": [
                     {
                         "plugin": s.plugin_name,

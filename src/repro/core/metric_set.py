@@ -39,11 +39,15 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from repro.core import sanitize
 from repro.core.memory import Arena, OutOfMemory
 from repro.core.metric import MetricDesc, MetricType
 from repro.util.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.set_arena import SetArenaPool
 
 __all__ = ["MetricSet", "SetInfo", "SET_NAME_LEN", "SCHEMA_NAME_LEN"]
 
@@ -103,6 +107,7 @@ class _CompiledSchema:
         "mtypes",
         "array_dtype",
         "first_offset",
+        "mixed_dtype",
     )
 
 
@@ -142,6 +147,10 @@ def _compile_schema(descs: list[MetricDesc], data_size: int) -> _CompiledSchema:
         fmt.append(d.mtype.struct_code)
         cur = d.data_offset + d.mtype.size
     cs.row_struct = struct.Struct("".join(fmt)) if ok and cur <= data_size else None
+
+    # Mixed-layout values_array target dtype, resolved lazily on first
+    # use (numpy promotion over the column types, computed once).
+    cs.mixed_dtype = None
 
     # Homogeneous contiguous layouts additionally decode as one numpy
     # frombuffer (the common all-U64 case: meminfo, lustre, bw, ...).
@@ -202,6 +211,7 @@ class MetricSet:
         mgn: int,
         data_size: int,
         meta_src: Optional[bytes] = None,
+        pool: Optional["SetArenaPool"] = None,
     ):
         self.name = name
         self.schema = schema
@@ -233,7 +243,19 @@ class MetricSet:
             arena.free(self._meta_off)
             raise
         self._meta = arena.view(self._meta_off, self.meta_size)
-        self._data = arena.view(self._data_off, self.data_size)
+        if pool is not None:
+            # Columnar backing (REPRO_ARENA): the data chunk is a row of
+            # a shared per-layout numpy block, so population-wide sweeps
+            # can touch every same-schema set in one vectorized op.  The
+            # daemon Arena reservation above still stands — footprint
+            # accounting (used/peak/OOM) is identical either way — but
+            # the reserved region goes unused while the row backs _data.
+            self._ab, self._arow = pool.acquire_row(self._compiled, data_size)
+            self._data = memoryview(self._ab.block[self._arow])
+        else:
+            self._ab = None
+            self._arow = -1
+            self._data = arena.view(self._data_off, self.data_size)
         self._in_transaction = False
         self._deleted = False
 
@@ -278,6 +300,7 @@ class MetricSet:
         metrics: list[tuple[str, MetricType, int]],
         arena: Arena,
         mgn: int = 1,
+        pool: Optional["SetArenaPool"] = None,
     ) -> "MetricSet":
         """Create a producer-side set; assigns data offsets sequentially."""
         if not name or len(name.encode()) >= SET_NAME_LEN:
@@ -293,10 +316,13 @@ class MetricSet:
             off = (off + size - 1) & ~(size - 1)  # natural alignment
             descs.append(MetricDesc(mname, mtype, comp_id, off))
             off += size
-        return cls(name, schema, descs, arena, mgn=mgn, data_size=off)
+        return cls(name, schema, descs, arena, mgn=mgn, data_size=off, pool=pool)
 
     @classmethod
-    def from_meta(cls, meta: bytes | memoryview, arena: Arena) -> "MetricSet":
+    def from_meta(
+        cls, meta: bytes | memoryview, arena: Arena,
+        pool: Optional["SetArenaPool"] = None,
+    ) -> "MetricSet":
         """Construct a consumer-side mirror from a metadata chunk."""
         meta = bytes(meta)
         if len(meta) < _META_HDR_SIZE:
@@ -320,6 +346,7 @@ class MetricSet:
             mgn=mgn,
             data_size=data_size,
             meta_src=meta,
+            pool=pool,
         )
         if mset._shadow is not None:
             # Mirrors get the consumer-side checks: decoding values
@@ -328,11 +355,14 @@ class MetricSet:
         return mset
 
     def delete(self) -> None:
-        """Release the set's arena memory."""
+        """Release the set's arena memory (and its columnar row)."""
         if not self._deleted:
             self._deleted = True
             self._meta.release()
             self._data.release()
+            if self._ab is not None:
+                self._ab.free_row(self._arow)
+                self._ab = None
             self.arena.free(self._meta_off)
             self.arena.free(self._data_off)
 
@@ -506,19 +536,45 @@ class MetricSet:
 
         Homogeneous contiguous layouts decode as a single ``frombuffer``
         (copied out so the result does not alias the live data chunk);
-        mixed layouts go through the compiled row unpack.
+        mixed layouts go through the compiled row unpack into a result
+        dtype resolved once per schema (``np.asarray`` without a dtype
+        re-ran full type inference over every element on every call).
         """
         import numpy as np
 
         if self._shadow is not None:
             sanitize.check_read(self)
-        dtype = self._compiled.array_dtype
+        cs = self._compiled
+        dtype = cs.array_dtype
         if dtype is not None:
             return np.frombuffer(
                 self._data, dtype=dtype, count=self.card,
-                offset=self._compiled.first_offset,
+                offset=cs.first_offset,
             ).copy()
-        return np.asarray(self.values_tuple())
+        mixed = cs.mixed_dtype
+        if mixed is None:
+            mixed = cs.mixed_dtype = np.result_type(
+                *(np.dtype(_NUMPY_CODE[t]) for t in cs.mtypes)
+            )
+        return np.asarray(self.values_tuple(), dtype=mixed)
+
+    def snapshot_values(self, data: bytes) -> tuple[float | int, ...]:
+        """Decode a raw data-chunk snapshot taken from this set's layout.
+
+        The columnar flush path stages ``bytes(set._data)`` at delivery
+        time and materializes records later; this is the scalar decode
+        for layouts (or batch sizes) the vectorized sweep doesn't cover.
+        No sanitize check: the snapshot is already detached from the
+        live chunk.
+        """
+        cs = self._compiled
+        rs = cs.row_struct
+        if rs is not None:
+            return rs.unpack_from(data, _DATA_HDR_SIZE)
+        return tuple(
+            st.unpack_from(data, off)[0]
+            for st, off in zip(cs.metric_structs, cs.offsets)
+        )
 
     def as_dict(self) -> dict[str, float | int]:
         return dict(zip(self._names, self.values_tuple()))

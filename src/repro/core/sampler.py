@@ -128,6 +128,29 @@ class SamplerPlugin:
     def do_sample(self, now: float) -> None:
         raise NotImplementedError
 
+    # -- columnar cohort protocol (REPRO_ARENA) --------------------------------
+    def cohort_key(self):
+        """Vectorization key for arena sampler cohorts, or None.
+
+        A non-None hashable key declares that every plugin instance
+        returning the same key produces, at the same tick count, the
+        same value row — so a cohort sweep can compute the row once and
+        broadcast it to every member's arena row.  Plugins whose values
+        depend on per-instance state (RNG draws, per-node files) must
+        return None and keep the scalar path.
+        """
+        return None
+
+    def cohort_advance(self) -> int:
+        """Advance per-tick state exactly as one ``do_sample`` would and
+        return the new tick count (cohort-path replacement for the
+        value computation inside ``do_sample``)."""
+        raise NotImplementedError
+
+    def cohort_row(self, ticks: int, dtype):
+        """The value row (1-D array, descriptor order) at ``ticks``."""
+        raise NotImplementedError
+
     def term(self) -> None:
         """Unload: delete the plugin's sets."""
         for s in self._sets:

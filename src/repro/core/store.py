@@ -86,9 +86,20 @@ class StorePolicy:
     metrics: Optional[tuple[str, ...]] = None
 
     def matches(self, record: StoreRecord) -> bool:
-        if self.schema is not None and record.schema != self.schema:
+        return self.matches_keys(record.schema, record.producer)
+
+    def matches_keys(self, schema: str, producer: str) -> bool:
+        """Match on the raw policy inputs without a materialized record.
+
+        The columnar flush path stages raw arena rows and only builds
+        :class:`StoreRecord` objects inside the batch drain; since the
+        policy depends solely on (schema, producer) — both frozen per
+        mirror — staging can route rows (and cache the answer) without
+        decoding them.
+        """
+        if self.schema is not None and schema != self.schema:
             return False
-        if self.producers is not None and record.producer not in self.producers:
+        if self.producers is not None and producer not in self.producers:
             return False
         return True
 

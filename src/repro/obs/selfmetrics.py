@@ -68,6 +68,9 @@ _COUNTER_NAMES = (
     "updates_coalesced",
     "flush_rows_batched",
     "timer_fastpath_ticks",
+    "arena_sweeps",
+    "arena_rows_vectorized",
+    "arena_fallback_sets",
 )
 
 
@@ -133,6 +136,9 @@ def collect(daemon: "Ldmsd") -> list[int]:
         psum("updates_coalesced"),
         daemon.obs.counter("store.flush_rows_batched").value,
         daemon.env.timer_fastpath_ticks(),
+        daemon.obs.counter("arena.sweeps").value,
+        daemon.obs.counter("arena.rows_vectorized").value,
+        daemon.obs.counter("arena.fallback_sets").value,
     ]
     for _, hname in _HISTOGRAMS:
         h = daemon.obs.histogram(hname)
@@ -176,6 +182,9 @@ def render(values: dict[str, int | float], indent: str = "    ") -> str:
         f"fastpath : coalesced={v['updates_coalesced']} "
         f"batched_rows={v['flush_rows_batched']} "
         f"timer_ticks={v['timer_fastpath_ticks']}",
+        f"arena    : sweeps={v['arena_sweeps']} "
+        f"rows_vectorized={v['arena_rows_vectorized']} "
+        f"fallback_sets={v['arena_fallback_sets']}",
         f"end2end  : sample->store {lat('sample_to_store')}",
         f"faults   : injected={v['faults_injected']} "
         f"promotions={v['watchdog_promotions']}",

@@ -4,7 +4,7 @@ Real LDMS daemons publish their self-metrics the same way they publish
 ``meminfo`` — as an ordinary metric set — so an aggregator pulls a
 sampler daemon's health over the normal transport, validates it with
 the normal MGN/DGN rules, and persists it through the normal store
-path.  The schema (47 U64 metrics: operational counters plus
+path.  The schema (59 U64 metrics: operational counters plus
 p50/p95/p99/max latency quantiles in microseconds for every pipeline
 stage) is defined once in :mod:`repro.obs.selfmetrics`.
 

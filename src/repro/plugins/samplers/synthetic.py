@@ -66,6 +66,7 @@ class SyntheticSampler(SamplerPlugin):
             instance, "synthetic", [(m, self.mtype) for m in self.names]
         )
         self._ticks = 0
+        self._cohort_base = None
 
     def do_sample(self, now: float) -> None:
         self._ticks += 1
@@ -77,3 +78,27 @@ class SyntheticSampler(SamplerPlugin):
         else:
             vals = [int(v) for v in self.rng.integers(0, 2**32, size=n)]
         self.set.set_values(vals)
+
+    # -- columnar cohort protocol (REPRO_ARENA) ----------------------------
+    def cohort_key(self):
+        # Deterministic patterns produce the same row for every instance
+        # at the same tick; "random" draws per-instance and must stay on
+        # the scalar path.
+        if self.pattern == "random":
+            return None
+        return ("synthetic", self.pattern, len(self.names), self.mtype)
+
+    def cohort_advance(self) -> int:
+        self._ticks += 1
+        return self._ticks
+
+    def cohort_row(self, ticks: int, dtype):
+        import numpy as np
+
+        base = self._cohort_base
+        if base is None or base.dtype != dtype:
+            base = self._cohort_base = np.arange(1, len(self.names) + 1,
+                                                 dtype=dtype)
+        if self.pattern == "counter":
+            return base * ticks
+        return base - 1  # constant: metric i always holds i

@@ -313,6 +313,13 @@ class Engine:
         self._cur_idx = 0
         #: ticks delivered through the zero-allocation periodic path
         self.timer_fastpath_ticks = 0
+        #: logical events materialized inside vectorized batch sweeps
+        #: (columnar sampler cohorts) instead of being individually
+        #: heap-scheduled; ``events_processed`` deliberately excludes
+        #: them so heap throughput stays directly comparable, while
+        #: benchmarks may report processed + vectorized as the logical
+        #: event total.
+        self.vectorized_events = 0
 
     @property
     def now(self) -> float:

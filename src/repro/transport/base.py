@@ -154,6 +154,12 @@ class Endpoint:
         self._inc_read_bytes = _noop_inc
         #: region_id -> zero-argument callable returning the region bytes
         self._regions: dict[int, Callable[[], bytes]] = {}
+        #: Optional batch reader installed by the serving daemon
+        #: (``fn(region_ids, registered) -> list[bytes | None]``).  When
+        #: present, coalesced reads serialize every requested region in
+        #: one call — the columnar plane gathers same-layout rows with a
+        #: single ``tobytes()`` — instead of one reader() per region.
+        self._multi_reader = None
 
     @property
     def obs(self):
@@ -193,6 +199,30 @@ class Endpoint:
 
     def unregister_region(self, region_id: int) -> None:
         self._regions.pop(region_id, None)
+
+    def set_multi_reader(self, fn) -> None:
+        """Install a serve-side batch reader for coalesced reads.
+
+        ``fn(region_ids, registered)`` must return one ``bytes | None``
+        per requested region, in request order, byte-identical to
+        calling each registered reader — it exists purely so the daemon
+        can serialize many same-layout regions in one vectorized sweep.
+        Regions absent from ``registered`` must come back ``None``,
+        preserving per-endpoint region visibility.
+        """
+        self._multi_reader = fn
+
+    def read_regions(self, region_ids) -> list:
+        """Serve-side materialization of a coalesced read request."""
+        multi = self._multi_reader
+        if multi is not None:
+            return multi(region_ids, self._regions)
+        regions = self._regions
+        out = []
+        for rid in region_ids:
+            reader = regions.get(rid)
+            out.append(bytes(reader()) if reader is not None else None)
+        return out
 
     @property
     def registered_regions(self) -> int:

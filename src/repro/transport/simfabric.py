@@ -276,17 +276,8 @@ class _SimEndpoint(Endpoint):
         if peer is None or peer.closed:
             self.engine.call_later(p.base_latency, on_complete, [None] * n)
             return
-        regions = peer._regions
-        results: list = []
-        nbytes = 0
-        for rid in region_ids:
-            reader = regions.get(rid)
-            if reader is None:
-                results.append(None)
-            else:
-                data = bytes(reader())
-                nbytes += len(data)
-                results.append(data)
+        results = peer.read_regions(region_ids)
+        nbytes = sum(len(d) for d in results if d is not None)
         cost = n * p.target_cpu_per_read + nbytes * p.target_cpu_per_byte
         if cost > 0.0 and peer.transport.core is not None:
             peer.transport.core.add_noise(self.engine.now, cost, tag="netmon")

@@ -171,11 +171,7 @@ class _SockEndpoint(Endpoint):
                 cb(data if status == wire.E_OK else None)
             return
         if frame.msg_type == wire.MsgType.RDMA_READ_MULTI_REQ:
-            regions = self._regions
-            parts = []
-            for region_id in wire.unpack_read_multi_req(frame.payload):
-                reader = regions.get(region_id)
-                parts.append(bytes(reader()) if reader is not None else None)
+            parts = self.read_regions(wire.unpack_read_multi_req(frame.payload))
             try:
                 self.send(
                     wire.encode_frame(

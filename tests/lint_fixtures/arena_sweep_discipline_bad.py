@@ -1,0 +1,27 @@
+"""Bad: scalar row-at-a-time sweeps inside the arena module."""
+
+import struct
+
+
+def open_transactions(blk, rows):
+    for r in rows:
+        blk.flags[r] = 0  # per-row column write
+
+
+def commit(blk, rows, now, card):
+    for r in rows:
+        blk.dgn[r] += card  # per-row AugAssign
+        blk.ts[r] = now
+
+
+def iterate_rows(blk):
+    total = 0
+    for row in blk.block:  # row-by-row iteration over the block
+        total += int(row[0])
+    return total
+
+
+def serialize(blk, rows):
+    return b"".join(
+        struct.pack("<Q", int(blk.dgn[r])) for r in rows  # struct.pack
+    )

@@ -1,0 +1,30 @@
+"""Good: columnar sweeps — whole-block fancy indexing, tobytes framing."""
+
+import numpy as np
+
+
+def open_transactions(groups):
+    # One vectorized flag write per (block, rows) group.
+    for blk, rows in groups:
+        blk.flags[rows] = 0
+
+
+def commit(groups, now, card):
+    for blk, rows in groups:
+        blk.dgn[rows] += card
+        blk.ts[rows] = now
+        blk.flags[rows] = 1
+
+
+def serialize(blk, rows, data_size):
+    # One tobytes() for the whole row batch, sliced per frame.
+    blob = blk.block[np.asarray(rows, dtype=np.intp)].tobytes()
+    return [blob[i * data_size:(i + 1) * data_size] for i in range(len(rows))]
+
+
+def accounting(members, now):
+    # Per-member Python-object bookkeeping is fine — it never indexes
+    # block columns row-by-row.
+    for m in members:
+        m.samples_taken += 1
+        m.last_sample_ts = now

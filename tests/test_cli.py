@@ -90,7 +90,7 @@ class TestFullCliPipeline:
             out = capsys.readouterr().out
             assert "vnode/self" in out
             assert "sampling :" in out and "end2end" in out
-            # the raw 47-metric dump is replaced by the rendering
+            # the raw 59-metric dump is replaced by the rendering
             assert "sample_us_p50" not in out
         finally:
             daemon.shutdown()

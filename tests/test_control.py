@@ -149,9 +149,11 @@ class TestControlVerbs:
         ch.handle("start name=n0/s interval=1000000")
         eng.run(until=2.5)
         prof = json.loads(ch.handle("prof")[2:])
-        assert set(prof) == {"name", "histograms", "traces"}
+        assert set(prof) == {"name", "histograms", "traces", "arena"}
         assert prof["name"] == "n0"
         assert isinstance(prof["traces"], list)
+        assert set(prof["arena"]) == {"sweeps", "rows_vectorized",
+                                      "fallback_sets", "pool"}
         h = prof["histograms"]["sample.duration"]
         # full dump: summary plus the bucket vector
         assert {"count", "sum", "min", "max", "mean", "p50", "p95", "p99",

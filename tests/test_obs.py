@@ -341,6 +341,33 @@ class TestLdmsdSelfEndToEnd:
         text = obs.render(vals)
         assert "samples" in text and "p99" in text
 
+    def test_arena_metrics_exported_and_surfaced(self, tmp_path):
+        from repro.core.control import ControlChannel
+        from repro.core.set_arena import arena_default
+
+        if not arena_default():
+            pytest.skip("columnar arena reverted (REPRO_ARENA=0)")
+        _, samp, agg = self._run(tmp_path)
+        vals = samp.get_set("s0/self").as_dict()
+        for name in ("arena_sweeps", "arena_rows_vectorized",
+                     "arena_fallback_sets"):
+            assert name in vals
+        # synthetic rides a (single-member) cohort: ~one sweep and one
+        # vectorized row per tick; ldmsd_self is not cohort-eligible
+        # and lands on the scalar fallback path.
+        assert vals["arena_sweeps"] >= 20
+        assert vals["arena_rows_vectorized"] >= vals["arena_sweeps"]
+        assert vals["arena_fallback_sets"] >= 1
+        # the control verbs surface the same numbers
+        ch = ControlChannel(samp)
+        stats = json.loads(ch.handle("stats")[2:])
+        assert stats["obs"]["counters"]["arena.sweeps"] == vals["arena_sweeps"]
+        assert stats["set_pool"]["rows"] >= 2
+        prof = json.loads(ch.handle("prof")[2:])
+        assert prof["arena"]["sweeps"] == vals["arena_sweeps"]
+        assert prof["arena"]["rows_vectorized"] == vals["arena_rows_vectorized"]
+        assert prof["arena"]["pool"]["rows"] >= 2
+
     def test_self_sampler_on_disabled_daemon_reads_zeros(self):
         eng, samp, _ = _world(obs_enabled=False)
         samp.load_sampler("ldmsd_self", instance="s0/self", component_id=1)

@@ -30,6 +30,7 @@ REPO_ROOT = Path(__file__).parent.parent
 #: rule id -> module name the fixture is linted as (must fall inside the
 #: rule's default package scope).
 FIXTURE_MODULES = {
+    "arena-sweep-discipline": "repro.core.set_arena.fixture",
     "des-purity": "repro.core.fixture",
     "sampler-contract": "repro.plugins.samplers.fixture",
     "store-contract": "repro.plugins.stores.fixture",
