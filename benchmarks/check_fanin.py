@@ -28,8 +28,12 @@ Two checks, both machine-independent:
 
 2. **Full-scale knee.**  The complete full-scale sock sweep (up to
    10,229 samplers) runs once with the fast paths on; the knee must
-   land exactly at the profile's 9,216-connection capacity.  Wall
-   times, event counts, and completeness per point are written to
+   land exactly at the profile's 9,216-connection capacity, and the
+   aggregator's live freshness tracker must report the ground-truth
+   delivered/expected completeness *exactly* at the knee and at the
+   over-capacity point (~0.901) — the tracker counts the same stored
+   updates against the same elapsed-time expectation.  Wall times,
+   event counts, and completeness per point are written to
    ``BENCH_fanin.json`` for the CI artifact.
 
     PYTHONPATH=src python benchmarks/check_fanin.py
@@ -72,8 +76,9 @@ def _set_fastpath(enabled: bool) -> None:
 
 
 def _run_point(n: int, scale: int,
-               pause_build: bool = False) -> tuple[float, int, int, float]:
-    """Build+run one sweep point: (wall s, events, vectorized, completeness).
+               pause_build: bool = False) -> tuple[float, int, int, float, float]:
+    """Build+run one sweep point:
+    (wall s, events, vectorized, completeness, tracker completeness).
 
     ``events`` is the logical event count — heap-processed plus
     cohort-vectorized member events — so it is invariant across the
@@ -98,8 +103,9 @@ def _run_point(n: int, scale: int,
             gc.enable()
     expected = n * (DURATION / INTERVAL - 1)
     completeness = min(len(store.rows) / expected, 1.0)
+    tracker = agg.freshness.fleet(env.now())["completeness"]
     events = eng.events_processed + eng.vectorized_events
-    return wall, events, eng.vectorized_events, completeness
+    return wall, events, eng.vectorized_events, completeness, tracker
 
 
 def check_relative() -> float:
@@ -109,9 +115,9 @@ def check_relative() -> float:
     best = 0.0
     for trial in range(TRIALS):
         _set_fastpath(True)
-        fast_wall, fast_events, _, _ = _run_point(n, 1)
+        fast_wall, fast_events, _, _, _ = _run_point(n, 1)
         _set_fastpath(False)
-        slow_wall, slow_events, _, _ = _run_point(n, 1)
+        slow_wall, slow_events, _, _, _ = _run_point(n, 1)
         _set_fastpath(True)
         speedup = slow_wall / fast_wall
         print(f"trial {trial}: "
@@ -135,18 +141,20 @@ def check_full_scale() -> dict:
     total_wall = 0.0
     total_events = 0
     for n in sizes:
-        wall, events, vectorized, completeness = _run_point(
+        wall, events, vectorized, completeness, tracker = _run_point(
             n, scale=1, pause_build=True)
         per_point.append({"n_samplers": n, "wall_s": round(wall, 3),
                           "events": events,
                           "vectorized_events": vectorized,
                           "events_per_s": int(events / wall),
-                          "completeness": round(completeness, 4)})
+                          "completeness": round(completeness, 4),
+                          "tracker_completeness": round(tracker, 4),
+                          "tracker_exact": tracker == completeness})
         total_wall += wall
         total_events += events
         print(f"  n={n:6d}  wall {wall:6.2f}s  events {events:8d}  "
               f"({int(events / wall):7d} ev/s, {vectorized} vectorized)  "
-              f"completeness {completeness:.4f}")
+              f"completeness {completeness:.4f}  tracker {tracker:.4f}")
     knee = max(p["n_samplers"] for p in per_point
                if p["completeness"] >= 0.99)
     return {
@@ -187,6 +195,21 @@ def main() -> int:
     if report["knee"] != report["profile_capacity"]:
         print("FAIL: full-scale knee moved off the profile capacity")
         return 1
+    # The live freshness tracker must agree with ground truth *exactly*
+    # at the knee and at the over-capacity point — same delivered count,
+    # same elapsed-time expectation, same clamp.
+    cap = report["profile_capacity"]
+    checked = [p for p in report["points"] if p["n_samplers"] >= cap]
+    if not checked:
+        print("FAIL: sweep never reached the knee point")
+        return 1
+    for p in checked:
+        if not p["tracker_exact"]:
+            print(f"FAIL: freshness tracker diverged from ground truth at "
+                  f"n={p['n_samplers']} "
+                  f"({p['tracker_completeness']} != {p['completeness']})")
+            return 1
+    print(f"freshness tracker exact at {[p['n_samplers'] for p in checked]}")
     print("OK")
     return 0
 

@@ -3,7 +3,11 @@
 
 Times the shared sample→transport→store pipeline unit
 (``pipeline_unit.build_unit``) with telemetry enabled and disabled on
-*this* machine and asserts the relative overhead.  The comparison is
+*this* machine and asserts the relative overhead.  The enabled set
+covers the full observability plane: histograms/counters, the pipeline
+tracer, and (PR 7) the freshness tracker, flight recorder, and span
+ring — the instrumented closure pays every per-stored-update obs cost
+the aggregator's hot path pays.  The comparison is
 relative, so the assertion is machine-independent; to stay robust on
 noisy shared runners the two variants are timed in strict alternation
 (each pair of calls experiences the same interference), GC is paused

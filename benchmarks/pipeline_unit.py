@@ -6,9 +6,12 @@ performing exactly the per-stored-sample work of the PR-1 fast path —
 sampling transaction, one-sided read service + mirror install, store
 record build, compiled CSV row render — optionally wrapped in the same
 ``repro.obs`` hooks the daemon executes (clock reads, histogram
-observes, counter incs, one pipeline trace).  Timing the closure with
-``instrumented=True`` vs ``False`` therefore measures the true
-telemetry overhead on the fast path, independent of machine speed.
+observes, counter incs, one pipeline trace, and — since the
+observability plane landed — the per-stored-update freshness observe,
+the flight-recorder event, and span recording for exemplar-sampled
+traces).  Timing the closure with ``instrumented=True`` vs ``False``
+therefore measures the true telemetry overhead on the fast path,
+independent of machine speed.
 """
 
 from __future__ import annotations
@@ -19,7 +22,14 @@ from repro.core.memory import Arena
 from repro.core.metric import MetricType
 from repro.core.metric_set import MetricSet
 from repro.core.store import StoreRecord
-from repro.obs import Telemetry, Tracer
+from repro.obs import (
+    FlightRecorder,
+    FreshnessTracker,
+    SpanRecorder,
+    Telemetry,
+    Tracer,
+)
+from repro.obs.spans import HOP_STORE, HOP_UPDATE
 
 __all__ = ["N_METRICS", "build_unit"]
 
@@ -48,6 +58,16 @@ def build_unit(outdir, instrumented: bool, n: int = N_METRICS,
 
     obs = Telemetry(enabled=instrumented)
     tracer = Tracer(clock, enabled=instrumented)
+    # The PR-7 observability plane: freshness tracking per stored
+    # update, a flight-recorder event per flush, and span recording for
+    # the exemplar-sampled traces — same call shape as the daemon's
+    # _complete_update/_flush_record paths.
+    flight = FlightRecorder("bench", enabled=instrumented)
+    spans = SpanRecorder("bench", enabled=instrumented)
+    freshness = FreshnessTracker(enabled=instrumented)
+    fresh = freshness.arm("n0", 1.0, 1, clock())
+    flight_record = flight.record
+    spans_record = spans.record
     h_sample = obs.histogram("sample.duration")
     h_update = obs.histogram("update.rtt")
     h_e2e = obs.histogram("pipeline.sample_to_store")
@@ -89,6 +109,15 @@ def build_unit(outdir, instrumented: bool, n: int = N_METRICS,
         if trace is not None:
             trace.t_store_done = t_done
         tracer.finish(trace, "stored")
+        # observability plane (aggregator _complete_update/_flush_record)
+        if fresh is not None:
+            fresh.observe(mirror.timestamp, 0)
+        flight_record(t_done, "store", "flush", 1, 0)
+        if trace is not None:
+            sid = spans.alloc()
+            spans_record(1, sid, 0, HOP_UPDATE, "update", t_issue, now)
+            spans_record(1, spans.alloc(), sid, HOP_STORE, "store_flush",
+                         t_submit, t_done)
         return rec
 
     return unit, store.close

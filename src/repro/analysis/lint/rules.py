@@ -466,6 +466,143 @@ class NoBlockingIoInHotPathRule(Rule):
 
 
 @register_rule
+class ObsHotpathDisciplineRule(Rule):
+    """Observability instruments stay free on the data-plane hot path.
+
+    The obs plane's CI contract is a <5% overhead bound with every
+    instrument enabled, and *zero* measurable cost when disabled.  That
+    only holds if a trace/record/observe call site on the sample/
+    update/flush path never allocates (dict/list/set displays,
+    comprehensions) or formats strings (f-strings, ``%``, ``.format``)
+    while building its arguments — those costs are paid even when the
+    instrument drops the event.  Expensive arguments are legal only
+    under the enabled-check idiom: an enclosing ``if`` testing
+    ``x.enabled`` or an ``is not None`` handle (``Tracer.start`` /
+    ``FreshnessTracker.arm`` return ``None`` when off, so the whole
+    block vanishes on the disabled path).
+    """
+
+    rule_id = "obs-hotpath-discipline"
+    description = ("no allocation/formatting in obs-instrument args on "
+                   "hot paths unless enabled-guarded")
+    paper_ref = "§IV-E overhead bound; DESIGN 'Observability plane'"
+    default_packages = ("repro.core", "repro.plugins", "repro.transport")
+    interests = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    #: Data-plane functions where every instrument call is per-event.
+    DEFAULT_HOT = (
+        "do_sample", "store", "store_many",
+        "_finish_sample", "_complete_update", "_multi_data",
+        "_issue_update", "_issue_update_multi",
+        "_flush_record", "_flush_rows", "_deliver", "_deliver_staged",
+        "_on_traced_read",
+    )
+    #: Instrument entry points: ``<recv>.record/observe/start/finish``
+    #: where the receiver chain names an obs object.
+    INSTRUMENT_METHODS = frozenset({"record", "observe", "start", "finish"})
+    INSTRUMENT_RECEIVERS = frozenset({
+        "spans", "flight", "freshness", "tracer", "recorder",
+    })
+
+    def configure(self, options: dict) -> None:
+        self.hot_functions = tuple(
+            options.pop("hot-functions", self.DEFAULT_HOT))
+        super().configure(options)
+
+    # -- classification ----------------------------------------------------
+    def _is_instrument_call(self, call: ast.Call) -> bool:
+        f = call.func
+        if not (isinstance(f, ast.Attribute)
+                and f.attr in self.INSTRUMENT_METHODS):
+            return False
+        recv = f.value
+        # Accept self.flight.record(...), d.spans.record(...),
+        # tracer.finish(...), fresh.observe(...) — any name/attr in the
+        # receiver chain that reads as an obs object.
+        while True:
+            if isinstance(recv, ast.Attribute):
+                if recv.attr in self.INSTRUMENT_RECEIVERS:
+                    return True
+                recv = recv.value
+            elif isinstance(recv, ast.Name):
+                return (recv.id in self.INSTRUMENT_RECEIVERS
+                        or recv.id in ("fresh", "trace", "span", "fl"))
+            else:
+                return False
+
+    @staticmethod
+    def _expensive_arg(call: ast.Call):
+        """First allocating/formatting expression among the arguments."""
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            for sub in ast.walk(arg):
+                if isinstance(sub, (ast.Dict, ast.List, ast.Set,
+                                    ast.DictComp, ast.ListComp, ast.SetComp,
+                                    ast.GeneratorExp, ast.JoinedStr)):
+                    return sub
+                if (isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Mod)
+                        and isinstance(sub.left, ast.Constant)
+                        and isinstance(sub.left.value, str)):
+                    return sub
+                if (isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr == "format"):
+                    return sub
+        return None
+
+    @staticmethod
+    def _is_enabled_guard(test: ast.expr) -> bool:
+        """``x.enabled``-style or ``x is not None`` test (possibly inside
+        a BoolOp)."""
+        for sub in ast.walk(test):
+            if isinstance(sub, ast.Attribute) and sub.attr == "enabled":
+                return True
+            if isinstance(sub, ast.Compare) and any(
+                isinstance(op, (ast.IsNot, ast.Is))
+                and isinstance(cmp, ast.Constant) and cmp.value is None
+                for op, cmp in zip(sub.ops, sub.comparators)
+            ):
+                return True
+        return False
+
+    # -- traversal ---------------------------------------------------------
+    def _check_stmts(self, stmts, guarded: bool, ctx) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.If):
+                inner = guarded or self._is_enabled_guard(stmt.test)
+                self._check_stmts(stmt.body, inner, ctx)
+                self._check_stmts(stmt.orelse, guarded, ctx)
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue  # nested defs are visited in their own right
+            for wrap in (ast.For, ast.While, ast.With, ast.Try):
+                if isinstance(stmt, wrap):
+                    for field_name in ("body", "orelse", "finalbody"):
+                        self._check_stmts(getattr(stmt, field_name, []),
+                                          guarded, ctx)
+                    break
+            else:
+                if guarded:
+                    continue
+                for sub in ast.walk(stmt):
+                    if (isinstance(sub, ast.Call)
+                            and self._is_instrument_call(sub)):
+                        bad = self._expensive_arg(sub)
+                        if bad is not None:
+                            ctx.report(self, sub,
+                                       "allocation/formatting in an obs "
+                                       "instrument call on the hot path — "
+                                       "guard with the enabled-check idiom "
+                                       "(if x.enabled / handle is not None) "
+                                       "or pass scalars")
+
+    def visit(self, node: ast.FunctionDef, ctx) -> None:
+        if node.name not in self.hot_functions:
+            return
+        self._check_stmts(node.body, False, ctx)
+
+
+@register_rule
 class MutableDefaultArgRule(Rule):
     """No mutable default arguments anywhere in the tree.
 

@@ -4,5 +4,10 @@
   UNIX-socket control channel and optional startup script.
 * ``ldmsctl-repro`` — issue control commands to a running daemon.
 * ``ldms-ls-repro`` — list (and optionally read) the metric sets a
-  daemon publishes, over TCP.
+  daemon publishes, over TCP; ``-v`` adds per-set age/staleness.
+* ``repro-top`` — live fleet view: polls the ``ldmsd_self`` sets an
+  aggregator republishes and renders per-daemon rates, completeness,
+  p95 latencies, and fast-path counters.
+* ``repro-trace`` — export a daemon's recorded spans as Chrome
+  ``trace_event`` JSON via the control socket.
 """

@@ -2,9 +2,11 @@
 
 Mirrors LDMS's ``ldms_ls``: bare invocation prints set names and
 geometry; ``-l`` also performs a lookup + data read and prints current
-metric values; ``-v`` additionally renders ``ldmsd_self`` sets as a
-grouped pipeline-health block (sampling/lookup/update/store latency
-quantiles) instead of a flat value dump.
+metric values; ``-v`` additionally prints each set's age (time since
+its last transaction, on the *daemon's* clock via the HELLO anchor)
+and renders ``ldmsd_self`` sets as a grouped pipeline-health block
+(sampling/lookup/update/store latency quantiles) instead of a flat
+value dump.
 
     ldms-ls-repro --host 127.0.0.1 --port 10411 -l
     ldms-ls-repro --host 127.0.0.1 --port 10411 -v
@@ -14,63 +16,17 @@ from __future__ import annotations
 
 import argparse
 import sys
-import threading
 
 from repro import obs
+from repro.cli.client import SyncClient
 from repro.core import wire
 from repro.core.memory import Arena
 from repro.core.metric_set import MetricSet
-from repro.transport.sock import SockTransport
 
 __all__ = ["main"]
 
-
-class _SyncClient:
-    """Blocking request/reply wrapper over the callback endpoint API."""
-
-    def __init__(self, host: str, port: int, timeout: float = 5.0):
-        self.timeout = timeout
-        done = threading.Event()
-        holder = {}
-
-        def connected(ep):
-            holder["ep"] = ep
-            done.set()
-
-        SockTransport().connect((host, port), connected)
-        if not done.wait(timeout) or holder.get("ep") is None:
-            raise ConnectionError(f"cannot connect to {host}:{port}")
-        self.ep = holder["ep"]
-        self._reply = None
-        self._have = threading.Event()
-        self.ep.on_message = self._on_message
-
-    def _on_message(self, raw: bytes) -> None:
-        self._reply = wire.decode_frame(raw)
-        self._have.set()
-
-    def request(self, frame: bytes) -> wire.Frame:
-        self._have.clear()
-        self.ep.send(frame)
-        if not self._have.wait(self.timeout):
-            raise TimeoutError("no reply from daemon")
-        return self._reply
-
-    def read_region(self, region_id: int) -> bytes | None:
-        holder = {}
-        done = threading.Event()
-
-        def complete(data):
-            holder["data"] = data
-            done.set()
-
-        self.ep.rdma_read(region_id, complete)
-        if not done.wait(self.timeout):
-            raise TimeoutError("region read timed out")
-        return holder.get("data")
-
-    def close(self) -> None:
-        self.ep.close()
+# Back-compat alias: the client predates repro.cli.client.
+_SyncClient = SyncClient
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -87,7 +43,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.verbose:
         args.long = True
 
-    client = _SyncClient(args.host, args.port)
+    client = SyncClient(args.host, args.port)
     try:
         reply = client.request(wire.encode_frame(wire.MsgType.DIR_REQ, 1))
         infos = wire.unpack_dir_reply(reply.payload)
@@ -114,7 +70,13 @@ def main(argv: list[str] | None = None) -> int:
                 continue
             mirror.apply_data(data)
             flag = "consistent" if mirror.is_consistent else "INCONSISTENT"
-            print(f"  ts={mirror.timestamp:.6f} dgn={mirror.dgn} [{flag}]")
+            line = f"  ts={mirror.timestamp:.6f} dgn={mirror.dgn} [{flag}]"
+            if args.verbose:
+                # Staleness on the daemon's own clock: the sock HELLO
+                # anchored its monotonic clock against ours at connect.
+                age = client.peer_age(mirror.timestamp)
+                line += f" age={age:.3f}s" if age is not None else " age=?"
+            print(line)
             if args.verbose and info.schema == obs.SELF_SCHEMA:
                 print(obs.render(mirror.as_dict()))
                 continue

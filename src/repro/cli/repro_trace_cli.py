@@ -1,0 +1,52 @@
+"""``repro-trace``: export a daemon's span ring as a Chrome trace.
+
+Asks a running ``ldmsd-repro`` for ``prof export=chrome`` over its
+UNIX control socket and writes the returned ``trace_event`` JSON,
+ready to load in ``chrome://tracing`` or Perfetto.  Each hop of a
+traced update (sample / serve / update / store) appears as one
+complete ("X") event; events sharing a trace id form one causal chain.
+
+    repro-trace --socket /tmp/node0.ctl --out trace.json
+    repro-trace --socket /tmp/node0.ctl            # JSON to stdout
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.cli.ldmsctl_cli import send_command
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Export a daemon's recorded spans as Chrome "
+                    "trace_event JSON.")
+    p.add_argument("--socket", required=True, help="daemon control socket")
+    p.add_argument("--out", default=None,
+                   help="output file (default: stdout)")
+    args = p.parse_args(argv)
+
+    reply = send_command(args.socket, "prof export=chrome")
+    status, _, body = reply.partition(" ")
+    if status != "0":
+        print(f"error: {body or reply}", file=sys.stderr)
+        return 1
+    doc = json.loads(body)
+    n = len(doc.get("traceEvents", []))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=1)
+        print(f"wrote {n} trace events to {args.out}")
+    else:
+        json.dump(doc, sys.stdout, indent=1)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

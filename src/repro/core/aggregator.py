@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.core import wire
 from repro.core.metric_set import MetricSet, SchemaMismatch, SetInfo
+from repro.obs.spans import HOP_UPDATE
 from repro.transport.base import Endpoint
 from repro.util.errors import OutOfMemory, StoreError
 from repro.util.rngtools import stable_seed
@@ -123,6 +124,17 @@ class UpdaterState:
     region_id: int = 0
     last_dgn: Optional[int] = None
     in_flight: bool = False
+    #: Transaction timestamp of the last record stored from this set —
+    #: the freshness tracker derives missed-interval hints from the gap
+    #: to the next stored timestamp (per-set, because a per-producer
+    #: timestamp would see interleaved sets as gaps).
+    last_stored_ts: float = 0.0
+    #: Learned DGN stride: the DGN advances once per metric *element*
+    #: written, so one transaction moves it by the (schema-dependent)
+    #: number of elements the sampler touches.  The smallest positive
+    #: delta ever observed is that per-transaction stride; a delta of
+    #: ``k`` strides then means ``k - 1`` transactions were skipped.
+    dgn_stride: int = 0
 
 
 class Producer:
@@ -143,9 +155,14 @@ class Producer:
         self._reconnect_attempts = 0
         self._ticks_since_dir = 0
         self._next_req_id = 1
-        #: req_id -> (set name, send time) of in-flight lookups
-        self._pending_lookups: dict[int, tuple[str, float]] = {}
+        #: req_id -> (set name, send time, span ctx or None) of
+        #: in-flight lookups
+        self._pending_lookups: dict[int, tuple[str, float, Optional[tuple]]] = {}
         self.stopped = False
+        #: Freshness state in the daemon's tracker, or None while the
+        #: producer is standby / the tracker is disabled — the
+        #: per-update cost is one ``is not None`` test.
+        self._fresh = None
         # Telemetry instruments (shared daemon-wide by name; binding
         # them here keeps the per-event cost to one attribute access).
         obs = daemon.obs
@@ -160,6 +177,11 @@ class Producer:
     # connection management
     # ------------------------------------------------------------------
     def start(self) -> None:
+        # Arm freshness from the configured start, not first connect:
+        # a target that never connects still owes its intervals, and the
+        # expectation clock must match the experiments' ground truth
+        # (expected counted from deployment time).
+        self._arm_freshness()
         if self.cfg.passive:
             return  # wait for the sampler to advertise
         self._connect()
@@ -173,11 +195,27 @@ class Producer:
         endpoint.on_message = self._on_message_locked
         endpoint.on_close = self._on_close
         self._start_timer()
+        self._arm_freshness()
         if not self.updaters:
             endpoint.send(wire.encode_frame(wire.MsgType.DIR_REQ, 0))
         else:
             for name in self.updaters:
                 self._send_lookup(name)
+
+    def _arm_freshness(self) -> None:
+        """(Re-)register with the daemon's freshness tracker.
+
+        Called from the cold paths that change what this producer owes —
+        connect/attach, activation, DIR-driven updater changes.  Standby
+        producers stay unarmed: they are connected but not expected to
+        deliver until promoted (§IV-B).
+        """
+        if not self.active or self.stopped:
+            return
+        nsets = len(self.updaters)
+        self._fresh = self.daemon.freshness.arm(
+            self.cfg.name, self.cfg.interval, nsets if nsets else 1,
+            self.daemon.env.now())
 
     def _start_timer(self) -> None:
         """Arm the periodic update loop (first successful connect only).
@@ -208,6 +246,8 @@ class Producer:
 
     def stop(self) -> None:
         self.stopped = True
+        self._fresh = None
+        self.daemon.freshness.disarm(self.cfg.name)
         if self._timer is not None:
             self._timer.cancel()
         if self._reconnect_handle is not None:
@@ -220,9 +260,15 @@ class Producer:
     def activate(self) -> None:
         """Promote a standby producer: begin pulling on the next tick."""
         self.active = True
+        self._arm_freshness()
 
     def deactivate(self) -> None:
         self.active = False
+        # A deactivated standby owes nothing; leaving it armed would
+        # drag fleet completeness down with intervals it was never
+        # expected to deliver.
+        self._fresh = None
+        self.daemon.freshness.disarm(self.cfg.name)
 
     @property
     def connected(self) -> bool:
@@ -259,6 +305,7 @@ class Producer:
             endpoint.on_message = self._on_message_locked
             endpoint.on_close = self._on_close
             self._start_timer()
+            self._arm_freshness()
             if not self.updaters:
                 # Discover the target's sets first.
                 endpoint.send(wire.encode_frame(wire.MsgType.DIR_REQ, 0))
@@ -316,16 +363,27 @@ class Producer:
     # protocol
     # ------------------------------------------------------------------
     def _send_lookup(self, set_name: str) -> None:
-        if self.endpoint is None:
+        endpoint = self.endpoint
+        if endpoint is None:
             return
         upd = self.updaters[set_name]
         upd.state = SetState.LOOKUP_PENDING
         rid = self._next_req_id
         self._next_req_id += 1
-        self._pending_lookups[rid] = (set_name, self.daemon.env.now())
+        # Lookups are cold-path (once per set per connect, plus retries)
+        # so every one is traced when the peer speaks trace-ctx — the
+        # serve side records its handling span against the same aux
+        # trace id.
+        spans = self.daemon.spans
+        span = trace = None
+        if spans.enabled and endpoint.trace_ok:
+            span = (spans.alloc_trace(), spans.alloc())
+            trace = ((0, span[0], span[1], HOP_UPDATE),)
+        self._pending_lookups[rid] = (set_name, self.daemon.env.now(), span)
         self.stats.lookups_sent += 1
-        self.endpoint.send(
-            wire.encode_frame(wire.MsgType.LOOKUP_REQ, rid, wire.pack_lookup_req(set_name))
+        endpoint.send(
+            wire.encode_frame(wire.MsgType.LOOKUP_REQ, rid,
+                              wire.pack_lookup_req(set_name), trace)
         )
 
     def _on_message_locked(self, raw: bytes) -> None:
@@ -337,10 +395,16 @@ class Producer:
         if frame.msg_type == wire.MsgType.DIR_REPLY:
             infos = wire.unpack_dir_reply(frame.payload)
             listed = {info.name for info in infos}
+            changed = False
             for info in infos:
                 if info.name not in self.updaters:
                     self.updaters[info.name] = UpdaterState(info.name)
                     self._send_lookup(info.name)
+                    changed = True
+            if changed:
+                # Discovery changed what this producer owes per
+                # interval; refresh the freshness tracker's set count.
+                self._arm_freshness()
             if not self.cfg.sets:
                 # Discovery mode: the directory is authoritative, so a
                 # set it no longer lists was deleted on the target —
@@ -352,8 +416,12 @@ class Producer:
             pending = self._pending_lookups.pop(frame.request_id, None)
             if pending is None:
                 return
-            set_name, t_sent = pending
-            self._h_lookup_rtt.observe(self.daemon.env.now() - t_sent)
+            set_name, t_sent, span = pending
+            now = self.daemon.env.now()
+            self._h_lookup_rtt.observe(now - t_sent)
+            if span is not None:
+                self.daemon.spans.record(
+                    span[0], span[1], 0, HOP_UPDATE, "lookup", t_sent, now)
             status, region_id, meta = wire.unpack_lookup_reply(frame.payload)
             upd = self.updaters.get(set_name)
             if upd is None:
@@ -389,13 +457,14 @@ class Producer:
         upd = self.updaters.pop(name, None)
         if upd is None:
             return
-        for rid in [r for r, (n, _t) in self._pending_lookups.items() if n == name]:
+        for rid in [r for r, p in self._pending_lookups.items() if p[0] == name]:
             del self._pending_lookups[rid]
         if upd.mirror is not None:
             self.daemon._unregister_mirror(upd.mirror)
             upd.mirror.delete()
             upd.mirror = None
         self.stats.sets_pruned += 1
+        self._arm_freshness()
 
     def _expire_lookups(self) -> None:
         """Fail lookups whose reply never arrived.
@@ -413,10 +482,10 @@ class Producer:
         if timeout <= 0:
             return
         now = self.daemon.env.now()
-        expired = [rid for rid, (_n, t_sent) in self._pending_lookups.items()
-                   if now - t_sent >= timeout]
+        expired = [rid for rid, p in self._pending_lookups.items()
+                   if now - p[1] >= timeout]
         for rid in expired:
-            set_name, _t_sent = self._pending_lookups.pop(rid)
+            set_name, _t_sent, _span = self._pending_lookups.pop(rid)
             self.stats.lookups_timed_out += 1
             upd = self.updaters.get(set_name)
             if upd is not None and upd.state is SetState.LOOKUP_PENDING:
@@ -505,7 +574,15 @@ class Producer:
                 tag="agg-update",
             )
 
-        endpoint.rdma_read(upd.region_id, on_data)
+        if trace is not None and endpoint.trace_ok:
+            # Exemplar transaction: propagate a wire trace context so the
+            # serving daemon can attribute its hop to the same trace.
+            trace.span_id = self.daemon.spans.alloc()
+            endpoint.rdma_read(
+                upd.region_id, on_data,
+                trace=((0, trace.trace_id, trace.span_id, HOP_UPDATE),))
+        else:
+            endpoint.rdma_read(upd.region_id, on_data)
 
     def _issue_update_multi(self, upds: list[UpdaterState]) -> None:
         """Issue one coalesced fetch covering every updater in ``upds``.
@@ -519,17 +596,25 @@ class Producer:
             return
         stats = self.stats
         tracer = self.daemon.tracer
+        trace_ok = endpoint.trace_ok
         now = self.daemon.env.now()
         batch: list[tuple[UpdaterState, float, object]] = []
         region_ids: list[int] = []
-        for upd in upds:
+        tctx = None  # built lazily: most batches carry no exemplar
+        for i, upd in enumerate(upds):
             upd.in_flight = True
             stats.updates_issued += 1
             trace = tracer.start(self.cfg.name, upd.set_name)
+            if trace is not None and trace_ok:
+                trace.span_id = self.daemon.spans.alloc()
+                if tctx is None:
+                    tctx = []
+                tctx.append((i, trace.trace_id, trace.span_id, HOP_UPDATE))
             batch.append((upd, trace.t_issue if trace is not None else now, trace))
             region_ids.append(upd.region_id)
         stats.updates_coalesced += len(upds)
-        endpoint.rdma_read_multi(region_ids, partial(self._multi_data, batch))
+        endpoint.rdma_read_multi(region_ids, partial(self._multi_data, batch),
+                                 trace=tuple(tctx) if tctx else None)
 
     def _multi_data(self, batch, datas) -> None:
         # One update worker reaps the whole batch; simulated CPU is the
@@ -657,6 +742,7 @@ class Producer:
                 self._c_stale.inc()
                 tracer.finish(trace, "stale")
                 return
+            prev_dgn = upd.last_dgn
             upd.mirror._install(data, dgn, consistent)
             upd.last_dgn = dgn
             if trace is not None:
@@ -672,3 +758,30 @@ class Producer:
                 return
             self.stats.stored += 1
             tracer.finish(trace, "stored")
+            fresh = self._fresh
+            if fresh is not None:
+                # Missed-interval hint: whichever of the DGN gap (in
+                # learned per-transaction strides) and the transaction-
+                # timestamp gap is larger — both per-set evidence already
+                # in hand, no extra wire bytes.
+                ts_new = upd.mirror.timestamp
+                missed = 0
+                if prev_dgn is not None and dgn > prev_dgn:
+                    delta = dgn - prev_dgn
+                    stride = upd.dgn_stride
+                    if stride == 0 or delta < stride:
+                        upd.dgn_stride = stride = delta
+                    missed = delta // stride - 1
+                last_ts = upd.last_stored_ts
+                if last_ts > 0.0 and self.cfg.interval > 0.0:
+                    gap = int((ts_new - last_ts) / self.cfg.interval + 0.5) - 1
+                    if gap > missed:
+                        missed = gap
+                upd.last_stored_ts = ts_new
+                fresh.observe(ts_new, missed)
+            if trace is not None and trace.span_id is not None:
+                # The aggregator-side hop of the exemplar's causal
+                # chain: issue -> validated-and-stored.
+                self.daemon.spans.record(
+                    trace.trace_id, trace.span_id, 0, HOP_UPDATE,
+                    "update", t_issue, now)

@@ -26,14 +26,17 @@ Supported commands (attribute syntax is ``key=value``)::
           [producers=<a>,<b>] [metrics=<m1>,<m2>] [plugin args...]
     dir
     stats
-    prof
+    prof [export=chrome]
     quit
 
 ``stats`` returns the daemon's operational counters *plus* the full
 telemetry-registry snapshot (counters, gauges, histogram summaries)
 under the ``obs`` key; ``prof`` returns the registry's latency
-histograms with their bucket vectors.  Every handled command is itself
-timed into the ``control.latency`` histogram.
+histograms with their bucket vectors, exemplar traces, the freshness
+tracker snapshot, and the flight-recorder window.  ``prof
+export=chrome`` instead returns the daemon's recorded spans as Chrome
+``trace_event`` JSON (the ``repro-trace`` CLI's wire verb).  Every
+handled command is itself timed into the ``control.latency`` histogram.
 """
 
 from __future__ import annotations
@@ -269,9 +272,18 @@ class ControlChannel:
         return json.dumps(self.daemon.stats())
 
     def _cmd_prof(self, attrs) -> str:
-        """Histogram dumps: per-stage latency buckets (µs-scale), plus
-        the columnar-arena sweep profile."""
+        """Histogram dumps: per-stage latency buckets (µs-scale), the
+        columnar-arena sweep profile, freshness and flight-recorder
+        snapshots.  ``export=chrome`` returns the span ring as Chrome
+        ``trace_event`` JSON instead."""
         d = self.daemon
+        if attrs.get("export") == "chrome":
+            from repro.obs.spans import chrome_trace_events
+
+            return json.dumps(chrome_trace_events([d.spans]))
+        if "export" in attrs:
+            raise ConfigError(f"unknown export format {attrs['export']!r}")
+        now = d.env.now()
         return json.dumps(
             {
                 "name": d.name,
@@ -283,8 +295,21 @@ class ControlChannel:
                         d.obs.counter("arena.rows_vectorized").value,
                     "fallback_sets":
                         d.obs.counter("arena.fallback_sets").value,
+                    # Schema-stable: zeroed, not None/omitted, when the
+                    # columnar plane is off (REPRO_ARENA=0).
                     "pool": (d.set_pool.stats()
-                             if d.set_pool is not None else None),
+                             if d.set_pool is not None
+                             else {"arenas": 0, "blocks": 0, "rows": 0}),
+                },
+                "freshness": d.freshness.snapshot(now),
+                "flight": {
+                    "total": d.flight.total,
+                    "window": d.flight.window(),
+                    "events": len(d.flight.events),
+                },
+                "spans": {
+                    "total": d.spans.total,
+                    "retained": len(d.spans.spans),
                 },
             }
         )

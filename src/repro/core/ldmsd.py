@@ -35,7 +35,15 @@ from repro.core.metric import MetricType
 from repro.core.metric_set import MetricSet, SetInfo
 from repro.core.sampler import SamplerPlugin, sampler_registry
 from repro.core.store import StorePlugin, StorePolicy, StoreRecord, store_registry
-from repro.obs import Telemetry, Tracer
+from repro.obs import (
+    FlightRecorder,
+    FreshnessTracker,
+    SpanRecorder,
+    Telemetry,
+    Tracer,
+)
+from repro.obs import flight as flightmod
+from repro.obs.spans import HOP_SAMPLE, HOP_STORE
 from repro.sim.resources import CpuCore
 from repro.transport.base import Endpoint, Listener, Transport
 from repro.util.errors import ConfigError, OutOfMemory, StoreError
@@ -209,6 +217,16 @@ class Ldmsd:
         #: attribute access per event, not a registry lookup.
         self.obs = Telemetry(enabled=obs_enabled)
         self.tracer = Tracer(env.now, enabled=obs_enabled)
+        #: Observability plane (PR 7): the per-hop span ring feeding
+        #: Chrome trace export, the per-producer freshness tracker (only
+        #: populated on daemons with producers), and the always-on
+        #: flight recorder behind postmortem dumps.  All three follow
+        #: the registry's discipline: disabled means no-op hot paths.
+        self.spans = SpanRecorder(name, enabled=obs_enabled)
+        self.freshness = FreshnessTracker(enabled=obs_enabled)
+        self.flight = FlightRecorder(name, enabled=obs_enabled)
+        flightmod.register_daemon(self)
+        self.flight.record(env.now(), "daemon", "start")
         if sanitize.enabled():
             # REPRO_SANITIZE=count routes discipline violations into
             # this registry (ldmsd_self exports the aggregate).
@@ -436,6 +454,7 @@ class Ldmsd:
             # the measured wall time of do_sample.
             duration = end - plugin._sample_t0
             plugin.last_sample_ts = end
+            plugin.last_sample_dur = duration
             plugin.sample_time_total += duration
             self._h_sample.observe(duration)
             self._c_samples.inc()
@@ -462,6 +481,13 @@ class Ldmsd:
     def _on_peer_connect(self, endpoint: Endpoint) -> None:
         endpoint.obs = self.obs
         endpoint.on_message = lambda raw: self._serve(endpoint, raw)
+        # Observability plane: daemon clock for the transport HELLO /
+        # peer-age anchor, and the serve-side traced-read hook.  Both
+        # must be installed before the transport starts reading.
+        endpoint.clock = self.env.now
+        endpoint.on_traced_read = self._on_traced_read
+        self.flight.record(self.env.now(), "conn", "peer_connect",
+                           len(self._served_endpoints))
         if self.set_pool is not None:
             # Columnar serve path: coalesced reads gather every
             # same-layout region with one tobytes() sweep.
@@ -475,6 +501,40 @@ class Ldmsd:
         with self.lock:
             if endpoint in self._served_endpoints:
                 self._served_endpoints.remove(endpoint)
+                self.flight.record(self.env.now(), "conn", "peer_close",
+                                   len(self._served_endpoints))
+
+    def _on_traced_read(self, trace_id: int, parent_span: int, hop: int,
+                        region_id: int) -> None:
+        """Serve-side half of wire-level trace propagation.
+
+        Invoked by the transport once per trace-context entry on an
+        inbound traced read.  Records the serve span (hop 1, parented on
+        the aggregator's update span) and — when this daemon sampled the
+        set itself — the sample span (hop 0) of the transaction whose
+        bytes the read returns, anchored on the set's transaction
+        timestamp.  Exemplar-rate only, so allocation here is fine.
+        """
+        spans = self.spans
+        if not spans.enabled:
+            return
+        now = self.env.now()
+        serve_sid = spans.alloc()
+        spans.record(trace_id, serve_sid, parent_span,
+                     hop - 1 if hop > 1 else 1, "serve_read", now, now)
+        set_name = self._region_names.get(region_id)
+        mset = self._sets.get(set_name) if set_name is not None else None
+        if mset is None:
+            return
+        ts = mset.timestamp
+        if ts <= 0.0:
+            return
+        for plugin in self._plugins.values():
+            if mset in plugin._sets:
+                dur = getattr(plugin, "last_sample_dur", 0.0)
+                spans.record(trace_id, spans.alloc(), serve_sid, HOP_SAMPLE,
+                             "sample", ts - dur, ts)
+                return
 
     def _serve(self, endpoint: Endpoint, raw: bytes) -> None:
         with self.lock:
@@ -501,6 +561,12 @@ class Ldmsd:
             elif frame.msg_type == wire.MsgType.LOOKUP_REQ:
                 self._c_lookup_req.inc()
                 set_name = wire.unpack_lookup_req(frame.payload)
+                if frame.trace is not None and self.spans.enabled:
+                    now = self.env.now()
+                    for _idx, tid, sid, hop in frame.trace:
+                        self.spans.record(tid, self.spans.alloc(), sid,
+                                          hop - 1 if hop > 1 else 1,
+                                          "serve_lookup", now, now)
                 mset = self._sets.get(set_name)
                 if mset is None:
                     reply = wire.pack_lookup_reply(wire.E_NOENT)
@@ -896,8 +962,18 @@ class Ldmsd:
             return
         end = self.env.now()
         self._h_store_flush.observe(end - t_submit)
+        self.flight.record(end, "store", "flush", 1)
         if trace is not None:
             trace.t_store_done = end
+            self._record_store_span(trace, t_submit, end)
+
+    def _record_store_span(self, trace, t_submit: float, end: float) -> None:
+        """Store-flush span of one traced transaction (exemplar path)."""
+        sid = trace.span_id
+        if sid is None or not self.spans.enabled:
+            return
+        self.spans.record(trace.trace_id, self.spans.alloc(), sid,
+                          HOP_STORE, "store_flush", t_submit, end)
 
     def _flush_batched(self, batch: _FlushBatch) -> None:
         """Flush-pool task: drain one sealed batch through the store's
@@ -987,11 +1063,13 @@ class Ldmsd:
             self._c_store_errors.inc(failed)
             return
         end = self.env.now()
+        self.flight.record(end, "store", "flush", n)
         h = self._h_store_flush
         for _record, t_submit, trace in rows:
             h.observe(end - t_submit)
             if trace is not None:
                 trace.t_store_done = end
+                self._record_store_span(trace, t_submit, end)
 
     # ------------------------------------------------------------------
     # introspection / shutdown
@@ -1018,8 +1096,13 @@ class Ldmsd:
                     for name, p in self.producers.items()
                 },
                 "records_delivered": self.records_delivered,
+                # Schema-stable for pollers: the arena keys are always
+                # present — zeroed, not dropped, when the columnar plane
+                # is off (REPRO_ARENA=0 or mid-run disablement).
                 "set_pool": (self.set_pool.stats()
-                             if self.set_pool is not None else None),
+                             if self.set_pool is not None
+                             else {"arenas": 0, "blocks": 0, "rows": 0}),
+                "freshness": self.freshness.fleet(self.env.now()),
                 "stores": [
                     {
                         "plugin": s.plugin_name,
@@ -1042,6 +1125,7 @@ class Ldmsd:
         if self._shutdown:
             return
         self._shutdown = True
+        self.flight.record(self.env.now(), "daemon", "shutdown")
         with self.lock:
             for sched in list(self._schedules.values()):
                 sched.handle.cancel()

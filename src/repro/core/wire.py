@@ -16,6 +16,21 @@ Frames are length-prefixed little-endian:
     u32 frame_len | u8 msg_type | u64 request_id | payload
 
 ``frame_len`` counts everything after the length field itself.
+
+**Trace context (version-negotiated).**  The high bit of ``msg_type``
+(:data:`TRACE_FLAG`) marks a frame that carries a compact trace-context
+blob between the header and the payload:
+
+    u8 count | count × (u16 index | u64 trace_id | u32 parent_span | u8 hop)
+
+``index`` names the region position a context applies to inside a
+coalesced multi-read (0 for single-region frames); ``trace_id`` /
+``parent_span`` / ``hop`` are the exemplar trace id, the sender's span
+id, and the sender's hop number (:mod:`repro.obs.spans`).  Because the
+flag bit was reserved (``msg_type`` ≤ 12), old decoders would reject
+flagged frames — so senders only set it after the peer advertised the
+``trace-ctx`` feature in its :data:`MsgType.HELLO` greeting, keeping
+mixed-version fleets interoperable.
 """
 
 from __future__ import annotations
@@ -46,6 +61,11 @@ __all__ = [
     "unpack_read_multi_req",
     "pack_read_multi_reply",
     "unpack_read_multi_reply",
+    "TRACE_FLAG",
+    "pack_trace_ctx",
+    "unpack_trace_ctx",
+    "pack_hello",
+    "unpack_hello",
 ]
 
 _HDR_FMT = "<IBQ"
@@ -71,6 +91,33 @@ class MsgType:
     # aggregator it connected to (asymmetric network access, §IV-B)
     RDMA_READ_MULTI_REQ = 10  # coalesced read: N regions, one frame each way
     RDMA_READ_MULTI_REPLY = 11
+    HELLO = 12  # transport-internal greeting: peer clock + feature list
+
+
+#: High bit of ``msg_type``: the frame carries a trace-context blob.
+TRACE_FLAG = 0x80
+_MSG_TYPE_MASK = 0x7F
+
+#: One trace-context entry: region index, trace id, parent span, hop.
+_TRACE_ENTRY = struct.Struct("<HQIB")
+_TRACE_ENTRY_SIZE = _TRACE_ENTRY.size
+
+
+def pack_trace_ctx(entries: tuple) -> bytes:
+    out = [struct.pack("<B", len(entries))]
+    for idx, trace_id, parent_span, hop in entries:
+        out.append(_TRACE_ENTRY.pack(idx, trace_id, parent_span, hop))
+    return b"".join(out)
+
+
+def unpack_trace_ctx(buf, pos: int = 0) -> tuple[tuple, int]:
+    """Decode a trace blob at ``pos``; returns (entries, bytes consumed)."""
+    (n,) = struct.unpack_from("<B", buf, pos)
+    entries = tuple(
+        _TRACE_ENTRY.unpack_from(buf, pos + 1 + i * _TRACE_ENTRY_SIZE)
+        for i in range(n)
+    )
+    return entries, 1 + n * _TRACE_ENTRY_SIZE
 
 
 @dataclass(frozen=True)
@@ -78,11 +125,21 @@ class Frame:
     msg_type: int
     request_id: int
     payload: bytes
+    #: Decoded trace-context entries, or None for untraced frames.
+    trace: tuple | None = field(default=None)
 
 
-def encode_frame(msg_type: int, request_id: int, payload: bytes = b"") -> bytes:
-    body = _HDR_STRUCT.pack(_HDR_SIZE - 4 + len(payload), msg_type, request_id)
-    return body + payload
+def encode_frame(msg_type: int, request_id: int, payload: bytes = b"",
+                 trace: tuple | None = None) -> bytes:
+    if trace is None:
+        body = _HDR_STRUCT.pack(
+            _HDR_SIZE - 4 + len(payload), msg_type, request_id)
+        return body + payload
+    blob = pack_trace_ctx(trace)
+    body = _HDR_STRUCT.pack(
+        _HDR_SIZE - 4 + len(blob) + len(payload),
+        msg_type | TRACE_FLAG, request_id)
+    return body + blob + payload
 
 
 class FrameDecoder:
@@ -122,9 +179,15 @@ class FrameDecoder:
                 if end - pos < 4 + flen:
                     break
                 _, mtype, rid = _HDR_STRUCT.unpack_from(buf, pos)
-                payload = bytes(mv[pos + _HDR_SIZE : pos + 4 + flen])
+                if mtype & TRACE_FLAG:
+                    trace, used = unpack_trace_ctx(buf, pos + _HDR_SIZE)
+                    payload = bytes(mv[pos + _HDR_SIZE + used : pos + 4 + flen])
+                    frames.append(Frame(mtype & _MSG_TYPE_MASK, rid,
+                                        payload, trace))
+                else:
+                    payload = bytes(mv[pos + _HDR_SIZE : pos + 4 + flen])
+                    frames.append(Frame(mtype, rid, payload))
                 pos += 4 + flen
-                frames.append(Frame(mtype, rid, payload))
         finally:
             mv.release()
         if pos == end:
@@ -151,6 +214,10 @@ def decode_frame(raw: bytes) -> Frame:
         raise ReproError(
             f"expected exactly one {4 + flen}-byte frame, got {len(raw)} bytes"
         )
+    if mtype & TRACE_FLAG:
+        trace, used = unpack_trace_ctx(raw, _HDR_SIZE)
+        return Frame(mtype & _MSG_TYPE_MASK, rid,
+                     bytes(raw[_HDR_SIZE + used:]), trace)
     return Frame(mtype, rid, bytes(raw[_HDR_SIZE:]))
 
 
@@ -296,3 +363,24 @@ def unpack_read_multi_reply(payload: bytes) -> list[bytes | None]:
         parts.append(bytes(payload[pos : pos + dlen]) if status == E_OK else None)
         pos += dlen
     return parts
+
+
+# ---------------------------------------------------------------------------
+# HELLO (transport-internal, stream transports): sent once per direction
+# right after connect.  Carries the sender's daemon clock (so a peer can
+# convert transaction timestamps into ages without sharing an epoch —
+# daemon clocks are monotonic-since-start, not wall time) and its
+# feature list for version negotiation (currently just "trace-ctx").
+# Peers that never send a HELLO are treated as featureless old builds.
+# ---------------------------------------------------------------------------
+
+
+def pack_hello(now: float, features: frozenset[str] | set[str]) -> bytes:
+    b = ",".join(sorted(features)).encode("utf-8")
+    return struct.pack("<dH", now, len(b)) + b
+
+
+def unpack_hello(payload: bytes) -> tuple[float, frozenset[str]]:
+    now, n = struct.unpack_from("<dH", payload, 0)
+    raw = payload[10 : 10 + n].decode("utf-8")
+    return now, (frozenset(raw.split(",")) if raw else frozenset())

@@ -26,11 +26,16 @@ identical timeline, which ``main()`` verifies.
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.cluster.machine import blue_waters
 from repro.experiments.common import print_header, print_table
 from repro.faults import FaultPlan
+from repro.obs import flight as flightmod
+from repro.obs.spans import causal_chains, chrome_trace_events, validate_chrome_trace
 
 __all__ = ["FailoverResult", "run_failover", "main"]
 
@@ -59,11 +64,21 @@ class FailoverResult:
     samples_lost: int
     #: Victim-group rows actually stored (victim + neighbour stores).
     rows_victim_group: int
+    #: Observability plane (PR 7): causal chains stitched from the
+    #: fleet's span rings that cover >= 4 distinct hops
+    #: (sample/serve/update/store), the exported Chrome trace_event
+    #: count + validity, and whether the watchdog-triggered postmortem
+    #: dump's window covers the injected crash.
+    chains_4hop: int = 0
+    trace_events: int = 0
+    trace_valid: bool = False
+    postmortem_ok: bool = False
 
     def key(self) -> tuple:
         """Determinism fingerprint: every measured number."""
         return (self.kill_time, self.detect_time, self.promotions,
-                self.max_gap_s, self.samples_lost, self.rows_victim_group)
+                self.max_gap_s, self.samples_lost, self.rows_victim_group,
+                self.chains_4hop, self.trace_events)
 
 
 def run_failover(
@@ -74,9 +89,15 @@ def run_failover(
     kill_at: float = 20.0,
     duration: float = 60.0,
     seed: int = 0,
+    export_dir: Optional[str] = None,
 ) -> FailoverResult:
     """Deploy the Fig. 3 standby topology, kill one L1 aggregator at
-    ``kill_at``, and measure promotion latency and samples lost."""
+    ``kill_at``, and measure promotion latency and samples lost.
+
+    With ``export_dir`` the run also writes ``failover_trace.json``
+    (Chrome ``trace_event`` — load in Perfetto) and
+    ``failover_postmortem.json`` (the watchdog-triggered flight-recorder
+    dump) — the artifacts CI uploads."""
     m = blue_waters(n_nodes, seed=seed)
     dep = m.deploy_ldms(
         interval=interval,
@@ -126,6 +147,33 @@ def run_failover(
             max_gap = max(max_gap, gap)
             if gap > 1.5 * interval:
                 lost += int(round(gap / interval)) - 1
+
+    # --- observability plane: causal chains + postmortem -------------------
+    recorders = [d.spans for d in dep.all_daemons()]
+    trace_doc = chrome_trace_events(recorders)
+    trace_valid = validate_chrome_trace(trace_doc) is None
+    chains = causal_chains(recorders, min_hops=4)
+    pm = next((p for p in reversed(flightmod.postmortems)
+               if p["reason"] == f"watchdog_promotion:{victim.name}"), None)
+    postmortem_ok = False
+    if pm is not None:
+        for drec in pm["daemons"]:
+            if drec["daemon"] != victim.name:
+                continue
+            lo_t, hi_t = drec["window"]
+            crashed = any(
+                ev["category"] == "fault" and ev["event"] == "crash"
+                and abs(ev["t"] - kill_at) < 1e-6
+                for ev in drec["events"])
+            postmortem_ok = crashed and lo_t <= kill_at <= hi_t
+    if export_dir is not None:
+        os.makedirs(export_dir, exist_ok=True)
+        with open(os.path.join(export_dir, "failover_trace.json"), "w") as fh:
+            json.dump(trace_doc, fh, indent=1)
+        if pm is not None:
+            with open(os.path.join(export_dir,
+                                   "failover_postmortem.json"), "w") as fh:
+                json.dump(pm, fh, indent=1)
     return FailoverResult(
         n_nodes=n_nodes,
         interval=interval,
@@ -139,12 +187,26 @@ def run_failover(
         max_gap_s=max_gap,
         samples_lost=lost,
         rows_victim_group=rows_total,
+        chains_4hop=len(chains),
+        trace_events=len(trace_doc["traceEvents"]),
+        trace_valid=trace_valid,
+        postmortem_ok=postmortem_ok,
     )
 
 
-def main() -> dict:
+def main(argv=None) -> dict:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="§IV-B aggregator failover experiment")
+    parser.add_argument(
+        "--export-dir", default=None,
+        help="write failover_trace.json (Chrome trace_event) and "
+             "failover_postmortem.json here")
+    args = parser.parse_args(argv)
+
     print_header("Aggregator failover (paper §IV-B, Fig. 3 standby config)")
-    r = run_failover()
+    r = run_failover(export_dir=args.export_dir)
     print_table(
         ["nodes", "interval", "k", "killed at", "promoted at",
          "latency", "bound", "ok"],
@@ -154,6 +216,12 @@ def main() -> dict:
     print_table(
         ["victim-group rows", "max gap (s)", "samples lost", "promotions"],
         [[r.rows_victim_group, r.max_gap_s, r.samples_lost, r.promotions]],
+    )
+    print_table(
+        ["4-hop chains", "trace events", "trace valid", "postmortem ok"],
+        [[r.chains_4hop, r.trace_events,
+          "yes" if r.trace_valid else "NO",
+          "yes" if r.postmortem_ok else "NO"]],
     )
 
     # Same seed, same timeline: the whole fault schedule runs on the

@@ -57,8 +57,13 @@ class FaninPoint:
     transport: str
     n_samplers: int
     connected: int
-    completeness: float  # stored rows / expected rows
+    completeness: float  # stored rows / expected rows (ground truth)
     refused: int
+    #: The aggregator's live :class:`~repro.obs.freshness.FreshnessTracker`
+    #: reading at sweep end — must equal ``completeness`` exactly: the
+    #: tracker counts the same delivered updates against the same
+    #: elapsed-time expectation the ground truth uses.
+    tracker_completeness: float = 1.0
 
 
 def default_sizes(xprt: str, scale: int = 1) -> list[int]:
@@ -134,6 +139,8 @@ def sweep_transport(xprt: str, sizes: list[int] | None = None,
                 connected=connected,
                 completeness=min(len(store.rows) / expected, 1.0),
                 refused=agg_x.refused_connections,
+                tracker_completeness=agg.freshness.fleet(
+                    env.now())["completeness"],
             )
         )
     return points
@@ -199,8 +206,10 @@ def main(scale: int = 1, xprts: tuple[str, ...] = ("sock", "rdma", "ugni"),
     )
     print("\nsweep detail:")
     print_table(
-        ["transport", "samplers", "connected", "completeness", "refused"],
-        [[p.transport, p.n_samplers, p.connected, p.completeness, p.refused]
+        ["transport", "samplers", "connected", "completeness",
+         "tracker", "refused"],
+        [[p.transport, p.n_samplers, p.connected, p.completeness,
+          p.tracker_completeness, p.refused]
          for xprt in xprts for p in results[xprt]],
     )
 

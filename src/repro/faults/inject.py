@@ -29,6 +29,7 @@ from typing import Callable, Optional
 from repro.core import wire
 from repro.core.env import Env
 from repro.faults.plan import FaultEvent, FaultPlan
+from repro.obs import flight as flightmod
 from repro.util.errors import ConfigError
 
 __all__ = ["FaultInjector"]
@@ -118,6 +119,12 @@ class FaultInjector:
             self._count_on(name)
             d = self.daemons.get(name)
             if d is not None:
+                # The victim's flight ring gets the crash as its final
+                # event, then the ring is frozen into a postmortem dump
+                # *before* shutdown tears anything down.
+                now = self.env.now()
+                d.flight.record(now, "fault", "crash")
+                flightmod.postmortem(f"fault_crash:{name}", now, (d,))
                 d.shutdown()
         elif ev.kind == "restart":
             name = ev.target[0]

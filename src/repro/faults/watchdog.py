@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.core.env import Env
+from repro.obs import flight as flightmod
 from repro.util.errors import ConfigError
 
 __all__ = ["Watchdog", "WatchedTarget"]
@@ -50,6 +51,12 @@ class WatchedTarget:
     dead: bool = False
     deaths: int = 0
     recoveries: int = 0
+    #: Flight recorder that logs this target's checks/transitions
+    #: (normally the standby owner's), or None.
+    flight: Optional[object] = None
+    #: Daemons whose flight rings a death freezes into a postmortem
+    #: dump; empty disables the dump.
+    postmortem_daemons: tuple = ()
 
 
 @dataclass
@@ -103,12 +110,16 @@ class Watchdog:
         heartbeat: Callable[[], float],
         on_dead: Callable[[], None],
         on_recover: Optional[Callable[[], None]] = None,
+        flight=None,
+        postmortem_daemons: tuple = (),
     ) -> WatchedTarget:
         """Watch an arbitrary heartbeat; fire ``on_dead`` on stall."""
         if name in self.targets:
             raise ConfigError(f"already watching {name!r}")
         tgt = WatchedTarget(name=name, heartbeat=heartbeat,
-                            on_dead=on_dead, on_recover=on_recover)
+                            on_dead=on_dead, on_recover=on_recover,
+                            flight=flight,
+                            postmortem_daemons=tuple(postmortem_daemons))
         self.targets[name] = tgt
         return tgt
 
@@ -165,7 +176,9 @@ class Watchdog:
                     prod.deactivate()
                     demotions.inc()
 
-        return self.watch(primary.name, heartbeat, on_dead, on_recover)
+        return self.watch(primary.name, heartbeat, on_dead, on_recover,
+                          flight=standby_owner.flight,
+                          postmortem_daemons=(primary, standby_owner))
 
     # ------------------------------------------------------------------
     # the check loop
@@ -189,6 +202,10 @@ class Watchdog:
         now = self.env.now()
         for tgt in self.targets.values():
             hb = tgt.heartbeat()
+            fl = tgt.flight
+            if fl is not None:
+                fl.record(now, "watchdog", "check", tgt.missed,
+                          1 if tgt.dead else 0)
             if tgt.last is None:
                 # Baseline: the first check only records where the
                 # heartbeat stands; stalls are counted from here.
@@ -203,6 +220,8 @@ class Watchdog:
                     self.events.append(
                         WatchdogEvent(time=now, target=tgt.name, kind="recovered")
                     )
+                    if fl is not None:
+                        fl.record(now, "watchdog", "recovered")
                     if tgt.on_recover is not None:
                         tgt.on_recover()
                 continue
@@ -214,4 +233,13 @@ class Watchdog:
                     WatchdogEvent(time=now, target=tgt.name, kind="dead",
                                   missed=tgt.missed)
                 )
+                if fl is not None:
+                    fl.record(now, "watchdog", "promote", tgt.missed)
                 tgt.on_dead()
+                if tgt.postmortem_daemons:
+                    # Freeze the involved daemons' last moments — the
+                    # dump's whole point is that the dead primary's ring
+                    # still holds what it was doing before the stall.
+                    flightmod.postmortem(
+                        f"watchdog_promotion:{tgt.name}", now,
+                        tgt.postmortem_daemons)

@@ -17,6 +17,8 @@ Surfaces: ``Ldmsd.stats()`` (registry snapshot), the ``stats``/``prof``
 control verbs, ``ldms_ls -v``, and the ``ldmsd_self`` sampler plugin.
 """
 
+from repro.obs.flight import FlightRecorder, postmortem, postmortems
+from repro.obs.freshness import FreshnessTracker, ProducerFreshness
 from repro.obs.registry import (
     DEFAULT_LATENCY_EDGES,
     Counter,
@@ -25,6 +27,13 @@ from repro.obs.registry import (
     Telemetry,
 )
 from repro.obs.selfmetrics import SELF_METRIC_NAMES, SELF_SCHEMA, collect, render
+from repro.obs.spans import (
+    Span,
+    SpanRecorder,
+    causal_chains,
+    chrome_trace_events,
+    validate_chrome_trace,
+)
 from repro.obs.trace import PipelineTrace, Tracer
 
 __all__ = [
@@ -39,4 +48,14 @@ __all__ = [
     "SELF_METRIC_NAMES",
     "collect",
     "render",
+    "Span",
+    "SpanRecorder",
+    "causal_chains",
+    "chrome_trace_events",
+    "validate_chrome_trace",
+    "FreshnessTracker",
+    "ProducerFreshness",
+    "FlightRecorder",
+    "postmortem",
+    "postmortems",
 ]

@@ -71,6 +71,21 @@ _COUNTER_NAMES = (
     "arena_sweeps",
     "arena_rows_vectorized",
     "arena_fallback_sets",
+    # Observability plane (PR 7): aggregator freshness tracking —
+    # delivered/expected transactions across all tracked producers,
+    # fleet completeness in permille (0.901 → 901), stale-producer
+    # count and worst staleness in ms — plus flight-recorder and span
+    # activity.  On a sampler-only daemon the freshness row is the
+    # identity (0 producers, completeness 1000).
+    "freshness_producers",
+    "freshness_delivered",
+    "freshness_expected",
+    "freshness_missed",
+    "completeness_permille",
+    "stale_producers",
+    "max_staleness_ms",
+    "flight_events",
+    "spans_recorded",
 )
 
 
@@ -140,6 +155,18 @@ def collect(daemon: "Ldmsd") -> list[int]:
         daemon.obs.counter("arena.rows_vectorized").value,
         daemon.obs.counter("arena.fallback_sets").value,
     ]
+    fleet = daemon.freshness.fleet(daemon.env.now())
+    values.extend((
+        fleet["producers"],
+        fleet["delivered"],
+        fleet["expected"],
+        fleet["missed"],
+        int(fleet["completeness"] * 1000.0 + 0.5),
+        fleet["stale_producers"],
+        int(fleet["max_staleness"] * 1000.0),
+        daemon.flight.total,
+        daemon.spans.total,
+    ))
     for _, hname in _HISTOGRAMS:
         h = daemon.obs.histogram(hname)
         for _, q in _QUANTILES:
@@ -185,6 +212,14 @@ def render(values: dict[str, int | float], indent: str = "    ") -> str:
         f"arena    : sweeps={v['arena_sweeps']} "
         f"rows_vectorized={v['arena_rows_vectorized']} "
         f"fallback_sets={v['arena_fallback_sets']}",
+        f"freshness: producers={v['freshness_producers']} "
+        f"delivered={v['freshness_delivered']}/{v['freshness_expected']} "
+        f"missed={v['freshness_missed']} "
+        f"completeness={v['completeness_permille']}‰ "
+        f"stale={v['stale_producers']} "
+        f"max_stale={v['max_staleness_ms']}ms",
+        f"flight   : events={v['flight_events']} "
+        f"spans={v['spans_recorded']}",
         f"end2end  : sample->store {lat('sample_to_store')}",
         f"faults   : injected={v['faults_injected']} "
         f"promotions={v['watchdog_promotions']}",

@@ -51,6 +51,10 @@ class PipelineTrace:
         "t_store_done",
         "sample_ts",
         "status",
+        # Span id of this transaction's aggregator-side "update" span,
+        # allocated at issue time when the trace context is propagated
+        # on the wire (None when the peer does not speak trace-ctx).
+        "span_id",
     )
 
     def __init__(self, trace_id: int, producer: str, set_name: str, t_issue: float):

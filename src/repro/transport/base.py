@@ -18,8 +18,10 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.util.errors import ConfigError, TransportError
+from repro.util.timeutil import monotonic as _monotonic
 
 __all__ = [
+    "BASE_FEATURES",
     "Endpoint",
     "Listener",
     "Transport",
@@ -131,6 +133,12 @@ def _noop_inc(n: int = 1) -> None:
     """Stand-in for a counter ``inc`` on endpoints with no registry."""
 
 
+#: Features this build's endpoints advertise during connection setup.
+#: "trace-ctx": the peer may set :data:`repro.core.wire.TRACE_FLAG` and
+#: attach trace-context blobs to frames it sends us.
+BASE_FEATURES = frozenset({"trace-ctx"})
+
+
 class Endpoint:
     """One side of a connection.  Subclasses implement the four verbs."""
 
@@ -152,6 +160,25 @@ class Endpoint:
         self._inc_bytes_rx = _noop_inc
         self._inc_reads = _noop_inc
         self._inc_read_bytes = _noop_inc
+        #: Version negotiation (PR 7): what we speak, and what the peer
+        #: told us it speaks.  ``trace_ok`` is the pre-computed "may I
+        #: attach trace context to frames for this peer" bit, so the
+        #: exemplar path tests one attribute.  Until the peer's feature
+        #: set arrives (simfabric: at establish; sock: HELLO frame;
+        #: never, for old builds) we assume nothing.
+        self.features: frozenset[str] = BASE_FEATURES
+        self.peer_features: frozenset[str] = frozenset()
+        self.trace_ok = False
+        #: Serve-side hook invoked once per trace-context entry on an
+        #: inbound traced read: ``fn(trace_id, parent_span, hop,
+        #: region_id)``.  Installed by the serving daemon.
+        self.on_traced_read: Optional[Callable[[int, int, int, int], None]] = None
+        #: Daemon clock of the owning daemon (``env.now``), installed by
+        #: the owner; stream transports stamp it into their HELLO.
+        self.clock: Optional[Callable[[], float]] = None
+        #: (peer_now, local_now) pair captured when the peer's HELLO
+        #: arrived — the clock anchor behind :meth:`peer_age`.
+        self._peer_clock: Optional[tuple[float, float]] = None
         #: region_id -> zero-argument callable returning the region bytes
         self._regions: dict[int, Callable[[], bytes]] = {}
         #: Optional batch reader installed by the serving daemon
@@ -180,6 +207,39 @@ class Endpoint:
         else:
             (self._inc_frames_rx, self._inc_bytes_rx,
              self._inc_reads, self._inc_read_bytes) = registry.endpoint_incs()
+
+    # -- negotiation -------------------------------------------------------
+    def _negotiate(self, peer_features: frozenset[str]) -> None:
+        """Record the peer's advertised feature set."""
+        self.peer_features = peer_features
+        self.trace_ok = "trace-ctx" in peer_features
+
+    def peer_age(self, ts: float) -> Optional[float]:
+        """Age of a peer-clock timestamp ``ts`` in seconds, or ``None``.
+
+        Daemon clocks are monotonic-since-start (not wall time), so a
+        transaction timestamp from a remote set is meaningless locally
+        until the peer's HELLO anchors its clock against ours.  In-sim
+        endpoints share the DES clock, so the anchor is exact there.
+        """
+        anchor = self._peer_clock
+        if anchor is None:
+            return None
+        peer_then, local_then = anchor
+        clock = self.clock
+        # Ownerless endpoints (CLI clients) fall back to the host
+        # monotonic clock; the HELLO capture used the same fallback, so
+        # the anchor arithmetic stays consistent either way.
+        local_now = clock() if clock is not None else _monotonic()
+        peer_now = peer_then + (local_now - local_then)
+        age = peer_now - ts
+        return age if age > 0.0 else 0.0
+
+    def _anchor_peer_clock(self, peer_now: float) -> None:
+        """Record the peer-clock anchor for :meth:`peer_age`."""
+        clock = self.clock
+        local_now = clock() if clock is not None else _monotonic()
+        self._peer_clock = (peer_now, local_now)
 
     # -- messaging ---------------------------------------------------------
     def send(self, frame: bytes) -> None:
@@ -229,16 +289,23 @@ class Endpoint:
         return len(self._regions)
 
     def rdma_read(
-        self, region_id: int, on_complete: Callable[[Optional[bytes]], None]
+        self, region_id: int, on_complete: Callable[[Optional[bytes]], None],
+        trace: tuple | None = None,
     ) -> None:
         """Fetch the peer's registered region; completion gets the bytes
-        or ``None`` if the region is gone / connection failed."""
+        or ``None`` if the region is gone / connection failed.
+
+        ``trace`` optionally carries trace-context entries (see
+        :func:`repro.core.wire.pack_trace_ctx`) to the serving side;
+        callers must only pass it when :attr:`trace_ok` is set.
+        """
         raise NotImplementedError
 
     def rdma_read_multi(
         self,
         region_ids: list[int],
         on_complete: Callable[[list[Optional[bytes]]], None],
+        trace: tuple | None = None,
     ) -> None:
         """Fetch several registered regions in one logical operation.
 
@@ -247,12 +314,18 @@ class Endpoint:
         base implementation gathers N independent :meth:`rdma_read`
         completions; transports with a native batch override this to
         amortise framing and wire hops over the whole batch (§IV-D
-        update coalescing).
+        update coalescing).  ``trace`` entries are routed to the single
+        read matching their region index.
         """
         n = len(region_ids)
         if n == 0:
             on_complete([])
             return
+        by_idx = None
+        if trace is not None:
+            by_idx = {}
+            for entry in trace:
+                by_idx.setdefault(entry[0], []).append(entry)
         results: list[Optional[bytes]] = [None] * n
         remaining = [n]
 
@@ -266,7 +339,8 @@ class Endpoint:
             return cb
 
         for i, rid in enumerate(region_ids):
-            self.rdma_read(rid, _gather(i))
+            ctx = tuple(by_idx[i]) if by_idx is not None and i in by_idx else None
+            self.rdma_read(rid, _gather(i), trace=ctx)
 
     def close(self) -> None:
         raise NotImplementedError

@@ -28,11 +28,15 @@ class _LocalEndpoint(Endpoint):
         self.bytes_sent += len(frame)
         self.peer._deliver(frame)
 
-    def rdma_read(self, region_id: int, on_complete) -> None:
+    def rdma_read(self, region_id: int, on_complete, trace=None) -> None:
         if self.closed or self.peer is None:
             on_complete(None)
             return
-        reader = self.peer._regions.get(region_id)
+        peer = self.peer
+        if trace is not None and peer.on_traced_read is not None:
+            for _idx, tid, sid, hop in trace:
+                peer.on_traced_read(tid, sid, hop, region_id)
+        reader = peer._regions.get(region_id)
         if reader is None:
             on_complete(None)
             return
@@ -97,6 +101,10 @@ class LocalTransport(Transport):
             return
         a, b = _LocalEndpoint(), _LocalEndpoint()
         a.peer, b.peer = b, a
+        # Both ends live in this build: negotiate directly.
+        a._negotiate(b.features)
+        b._negotiate(a.features)
+        a._peer_clock = b._peer_clock = (0.0, 0.0)
         # Accept side first (mirrors accept-before-connect-returns of TCP).
         lst.on_connect(b)
         on_connected(a)

@@ -188,7 +188,7 @@ class _SimEndpoint(Endpoint):
         if not self.closed:
             self._deliver(frame)
 
-    def rdma_read(self, region_id: int, on_complete) -> None:
+    def rdma_read(self, region_id: int, on_complete, trace=None) -> None:
         if self.closed or self.peer is None:
             on_complete(None)
             return
@@ -202,11 +202,14 @@ class _SimEndpoint(Endpoint):
             faults.reads_failed += 1
             self.engine.call_later(p.base_latency, on_complete, None)
             return
-        # Request travels to the target...
-        req_delay = self._wire_delay(64, peer.node_id)
-        self.engine.call_later(req_delay, self._read_at_target, region_id, on_complete)
+        # Request travels to the target... (a trace-context blob rides
+        # in the request frame: 15 bytes per entry, see wire.py)
+        nreq = 64 if trace is None else 64 + 1 + 15 * len(trace)
+        req_delay = self._wire_delay(nreq, peer.node_id)
+        self.engine.call_later(
+            req_delay, self._read_at_target, region_id, on_complete, trace)
 
-    def _read_at_target(self, region_id: int, on_complete) -> None:
+    def _read_at_target(self, region_id: int, on_complete, trace=None) -> None:
         peer = self.peer
         p = self.transport.profile
         faults = self.fabric.faults
@@ -219,6 +222,9 @@ class _SimEndpoint(Endpoint):
         if peer is None or peer.closed:
             self.engine.call_later(p.base_latency, on_complete, None)
             return
+        if trace is not None and peer.on_traced_read is not None:
+            for _idx, tid, sid, hop in trace:
+                peer.on_traced_read(tid, sid, hop, region_id)
         reader = peer._regions.get(region_id)
         data = bytes(reader()) if reader is not None else None
         nbytes = len(data) if data is not None else 0
@@ -240,7 +246,7 @@ class _SimEndpoint(Endpoint):
             )
         on_complete(data)
 
-    def rdma_read_multi(self, region_ids, on_complete) -> None:
+    def rdma_read_multi(self, region_ids, on_complete, trace=None) -> None:
         """Coalesced batch read: one request hop, one reply hop.
 
         Cost semantics match N single reads exactly for CPU (per-read
@@ -260,11 +266,16 @@ class _SimEndpoint(Endpoint):
             faults.reads_failed += 1
             self.engine.call_later(p.base_latency, on_complete, [None] * n)
             return
-        # One request frame naming all N regions (8 bytes per id).
-        req_delay = self._wire_delay(64 + 8 * n, peer.node_id)
-        self.engine.call_later(req_delay, self._multi_at_target, region_ids, on_complete)
+        # One request frame naming all N regions (8 bytes per id), plus
+        # any trace-context blob (15 bytes per traced region).
+        nreq = 64 + 8 * n
+        if trace is not None:
+            nreq += 1 + 15 * len(trace)
+        req_delay = self._wire_delay(nreq, peer.node_id)
+        self.engine.call_later(
+            req_delay, self._multi_at_target, region_ids, on_complete, trace)
 
-    def _multi_at_target(self, region_ids, on_complete) -> None:
+    def _multi_at_target(self, region_ids, on_complete, trace=None) -> None:
         peer = self.peer
         p = self.transport.profile
         n = len(region_ids)
@@ -276,6 +287,10 @@ class _SimEndpoint(Endpoint):
         if peer is None or peer.closed:
             self.engine.call_later(p.base_latency, on_complete, [None] * n)
             return
+        if trace is not None and peer.on_traced_read is not None:
+            for idx, tid, sid, hop in trace:
+                if idx < n:
+                    peer.on_traced_read(tid, sid, hop, region_ids[idx])
         results = peer.read_regions(region_ids)
         nbytes = sum(len(d) for d in results if d is not None)
         cost = n * p.target_cpu_per_read + nbytes * p.target_cpu_per_byte
@@ -393,6 +408,13 @@ class SimTransport(Transport):
         target._conn_count += 1
 
         def establish() -> None:
+            # In-sim version negotiation: feature sets are exchanged at
+            # establish time (the HELLO a stream transport would send),
+            # and both clocks are the shared DES clock so the peer-age
+            # anchor is exact.
+            a._negotiate(b.features)
+            b._negotiate(a.features)
+            a._peer_clock = b._peer_clock = (0.0, 0.0)
             lst.on_connect(b)
             on_connected(a)
 

@@ -20,6 +20,7 @@ from typing import Callable, Optional
 from repro.core import wire
 from repro.transport.base import Endpoint, Listener, Transport, register_transport
 from repro.util.errors import TransportError
+from repro.util.timeutil import monotonic as _monotonic
 
 __all__ = ["SockTransport"]
 
@@ -60,7 +61,17 @@ class _SockEndpoint(Endpoint):
         has returned (and so had its chance to wire ``on_message``);
         starting the reader inside ``__init__`` lets a peer's first frame
         race the handler assignment and be silently dropped.
+
+        Also the point where this side's HELLO goes out: the owner has
+        had its chance to install ``clock``/``features`` in the connect
+        callback, and the greeting must precede any traced frame.
         """
+        try:
+            now = self.clock() if self.clock is not None else _monotonic()
+            self.send(wire.encode_frame(
+                wire.MsgType.HELLO, 0, wire.pack_hello(now, self.features)))
+        except TransportError:
+            pass
         self._reader.start()
 
     # -- verbs ---------------------------------------------------------------
@@ -74,7 +85,7 @@ class _SockEndpoint(Endpoint):
                 raise TransportError(f"send failed: {exc}") from exc
         self.bytes_sent += len(frame)
 
-    def rdma_read(self, region_id: int, on_complete) -> None:
+    def rdma_read(self, region_id: int, on_complete, trace=None) -> None:
         if self.closed:
             on_complete(None)
             return
@@ -83,14 +94,15 @@ class _SockEndpoint(Endpoint):
         try:
             self.send(
                 wire.encode_frame(
-                    wire.MsgType.RDMA_READ_REQ, rid, struct.pack("<Q", region_id)
+                    wire.MsgType.RDMA_READ_REQ, rid,
+                    struct.pack("<Q", region_id), trace,
                 )
             )
         except TransportError:
             self._pending_reads.pop(rid, None)
             on_complete(None)
 
-    def rdma_read_multi(self, region_ids, on_complete) -> None:
+    def rdma_read_multi(self, region_ids, on_complete, trace=None) -> None:
         """Native coalesced read: one request frame, one reply frame,
         one reader-thread dispatch for the whole batch."""
         n = len(region_ids)
@@ -108,6 +120,7 @@ class _SockEndpoint(Endpoint):
                     wire.MsgType.RDMA_READ_MULTI_REQ,
                     rid,
                     wire.pack_read_multi_req(list(region_ids)),
+                    trace,
                 )
             )
         except TransportError:
@@ -146,8 +159,19 @@ class _SockEndpoint(Endpoint):
             self._closed()
 
     def _dispatch(self, frame: wire.Frame) -> None:
+        if frame.msg_type == wire.MsgType.HELLO:
+            # Transport-internal greeting: version negotiation + clock
+            # anchor.  Consumed here — the application handler never
+            # sees it (CLI clients overwrite on_message wholesale).
+            peer_now, feats = wire.unpack_hello(frame.payload)
+            self._negotiate(feats)
+            self._anchor_peer_clock(peer_now)
+            return
         if frame.msg_type == wire.MsgType.RDMA_READ_REQ:
             (region_id,) = struct.unpack("<Q", frame.payload)
+            if frame.trace is not None and self.on_traced_read is not None:
+                for _idx, tid, sid, hop in frame.trace:
+                    self.on_traced_read(tid, sid, hop, region_id)
             reader = self._regions.get(region_id)
             data = bytes(reader()) if reader is not None else b""
             status = wire.E_OK if reader is not None else wire.E_NOENT
@@ -171,7 +195,12 @@ class _SockEndpoint(Endpoint):
                 cb(data if status == wire.E_OK else None)
             return
         if frame.msg_type == wire.MsgType.RDMA_READ_MULTI_REQ:
-            parts = self.read_regions(wire.unpack_read_multi_req(frame.payload))
+            region_ids = wire.unpack_read_multi_req(frame.payload)
+            if frame.trace is not None and self.on_traced_read is not None:
+                for idx, tid, sid, hop in frame.trace:
+                    if idx < len(region_ids):
+                        self.on_traced_read(tid, sid, hop, region_ids[idx])
+            parts = self.read_regions(region_ids)
             try:
                 self.send(
                     wire.encode_frame(
@@ -190,9 +219,11 @@ class _SockEndpoint(Endpoint):
                 self._account_read(sum(len(p) for p in parts if p is not None))
                 mr.on_complete(parts)
             return
-        # Application frame: re-encode not needed; hand up the raw frame.
+        # Application frame: re-encode not needed; hand up the raw frame
+        # (trace context, if any, survives the round trip).
         self._deliver(
-            wire.encode_frame(frame.msg_type, frame.request_id, frame.payload)
+            wire.encode_frame(frame.msg_type, frame.request_id, frame.payload,
+                              frame.trace)
         )
 
 

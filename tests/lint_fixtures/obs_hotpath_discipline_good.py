@@ -1,0 +1,28 @@
+"""GOOD: hot-path obs calls pass scalars, or pay for arguments only
+under the enabled-check idiom."""
+
+
+class Updater:
+    def _complete_update(self, upd, data, now):
+        # Scalar arguments are free: attribute reads + a tuple append
+        # inside the instrument, nothing allocated at the call site.
+        self.daemon.flight.record(now, "updater", "stored", upd.dgn)
+        self.daemon.spans.record(1, 2, 0, 2, "update", now, now)
+        # Handle idiom: arm()/start() returned None when disabled, so
+        # the whole block (including the formatted label) vanishes.
+        fresh = self._fresh
+        if fresh is not None:
+            fresh.observe(now, 0)
+        trace = self.tracer.start(upd.name)
+        if trace is not None:
+            self.tracer.finish(trace, f"stored:{upd.name}")
+
+    def _flush_rows(self, rows, now):
+        # Explicit enabled check guards the formatted detail record.
+        if self.daemon.flight.enabled:
+            self.daemon.flight.record(now, "store", "flush",
+                                      {"rows": len(rows)})
+
+    def render_report(self, rows):
+        # Not a hot function: formatting here is out of scope.
+        return self.tracer.finish(rows, f"report:{len(rows)}")

@@ -149,7 +149,8 @@ class TestControlVerbs:
         ch.handle("start name=n0/s interval=1000000")
         eng.run(until=2.5)
         prof = json.loads(ch.handle("prof")[2:])
-        assert set(prof) == {"name", "histograms", "traces", "arena"}
+        assert set(prof) == {"name", "histograms", "traces", "arena",
+                             "freshness", "flight", "spans"}
         assert prof["name"] == "n0"
         assert isinstance(prof["traces"], list)
         assert set(prof["arena"]) == {"sweeps", "rows_vectorized",

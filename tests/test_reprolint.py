@@ -38,6 +38,7 @@ FIXTURE_MODULES = {
     "swallowed-except": "repro.core.fixture",
     "control-verb-registry": "repro.core.control",
     "no-blocking-io-in-hot-path": "repro.plugins.samplers.fixture",
+    "obs-hotpath-discipline": "repro.core.fixture",
     "mutable-default-arg": "repro.anywhere.fixture",
 }
 

@@ -49,11 +49,22 @@ class TestFraming:
         with pytest.raises(ReproError):
             wire.FrameDecoder().feed(b"\x01\x00\x00\x00abcdefgh")
 
-    @given(st.binary(max_size=2048), st.integers(0, 255),
+    @given(st.binary(max_size=2048), st.integers(0, 127),
            st.integers(0, 2**64 - 1))
     def test_any_payload_roundtrips(self, payload, mtype, rid):
+        # msg_type is 7 bits on the wire: the high bit is the
+        # trace-context flag (wire.TRACE_FLAG).
         f = wire.decode_frame(wire.encode_frame(mtype, rid, payload))
         assert (f.msg_type, f.request_id, f.payload) == (mtype, rid, payload)
+
+    @given(st.binary(max_size=512), st.integers(0, 127),
+           st.integers(0, 2**64 - 1))
+    def test_traced_payload_roundtrips(self, payload, mtype, rid):
+        ctx = ((0, 42, 7, 2),)
+        f = wire.decode_frame(wire.encode_frame(mtype, rid, payload,
+                                                trace=ctx))
+        assert (f.msg_type, f.request_id, f.payload, f.trace) == (
+            mtype, rid, payload, ctx)
 
 
 class TestDirCodec:
