@@ -1,0 +1,157 @@
+"""End-to-end flow analysis: files -> summaries (cached) -> program ->
+contracts + wire conformance -> suppression-filtered report.
+
+This is the piece the CLI, CI, and tests call.  ``analyze`` works on
+paths (with cache support); ``analyze_sources`` works on an in-memory
+``{module: source}`` dict for fixtures and unit tests.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.flow.cache import SummaryStore, digest_source
+from repro.analysis.flow.config import FlowConfig
+from repro.analysis.flow.graph import Program
+from repro.analysis.flow.report import FLOW_RULE_IDS, FlowReport, FlowViolation
+from repro.analysis.flow.summary import SUMMARY_VERSION, ModuleSummary, extract_module
+from repro.analysis.flow.wirecheck import check_wire
+from repro.analysis.lint.engine import (
+    Engine,
+    path_to_module,
+    scan_suppression_comments,
+)
+from repro.util.timeutil import perf_counter
+
+_KNOWN_IDS = set(FLOW_RULE_IDS) | {"parse-error"}
+
+
+def analyze(
+    paths: Iterable[str | Path],
+    config: FlowConfig | None = None,
+    store: SummaryStore | None = None,
+) -> FlowReport:
+    """Run the whole-program pass over ``paths`` (files or directories)."""
+    config = config or FlowConfig()
+    t0 = perf_counter()
+    files = Engine.iter_python_files(paths)
+    summaries: dict[str, ModuleSummary] = {}
+    sources: dict[str, tuple[str, str]] = {}
+    parse_errors: list[FlowViolation] = []
+    cache_hits = 0
+    for f in files:
+        source = f.read_text(encoding="utf-8")
+        module = path_to_module(f, config.src_roots)
+        sources[module] = (str(f), source)
+        digest = digest_source(source, f"summary-v{SUMMARY_VERSION}")
+        cached = store.get("flow-summary", str(f), digest) if store is not None else None
+        if cached is not None:
+            summaries[module] = ModuleSummary.from_obj(cached)
+            cache_hits += 1
+            continue
+        try:
+            summary = extract_module(source, module, str(f))
+        except SyntaxError as exc:
+            parse_errors.append(
+                FlowViolation(
+                    rule_id="parse-error",
+                    path=str(f),
+                    line=exc.lineno or 0,
+                    col=exc.offset or 0,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        summaries[module] = summary
+        if store is not None:
+            store.put("flow-summary", str(f), digest, summary.to_obj())
+
+    program = Program(summaries, config)
+    program.build()
+    program.propagate()
+    violations = parse_errors + program.contract_violations()
+    violations += check_wire(sources, config)
+
+    report = FlowReport()
+    _apply_suppressions(report, violations, sources)
+    report.sort()
+    elapsed = perf_counter() - t0
+    report.stats = {
+        "flow_modules_analyzed": len(summaries),
+        "flow_cache_hits": cache_hits,
+        "flow_cache_misses": len(summaries) - cache_hits,
+        "elapsed_s": round(elapsed, 3),
+        **program.stats,
+        "rules": {
+            rid: sum(1 for v in report.violations if v.rule_id == rid)
+            for rid in sorted(FLOW_RULE_IDS)
+        },
+    }
+    if store is not None:
+        store.save()
+    return report
+
+
+def analyze_sources(
+    sources: dict[str, str],
+    config: FlowConfig | None = None,
+) -> FlowReport:
+    """Analyze in-memory modules (tests/fixtures); paths are synthetic."""
+    config = config or FlowConfig()
+    summaries: dict[str, ModuleSummary] = {}
+    path_map: dict[str, tuple[str, str]] = {}
+    parse_errors: list[FlowViolation] = []
+    for module, source in sources.items():
+        path = f"<{module}>"
+        path_map[module] = (path, source)
+        try:
+            summaries[module] = extract_module(source, module, path)
+        except SyntaxError as exc:
+            parse_errors.append(
+                FlowViolation(
+                    rule_id="parse-error",
+                    path=path,
+                    line=exc.lineno or 0,
+                    col=exc.offset or 0,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+    program = Program(summaries, config)
+    program.build()
+    program.propagate()
+    violations = parse_errors + program.contract_violations()
+    violations += check_wire(path_map, config)
+    report = FlowReport()
+    _apply_suppressions(report, violations, path_map)
+    report.sort()
+    report.stats = {
+        "flow_modules_analyzed": len(summaries),
+        "flow_cache_hits": 0,
+        "flow_cache_misses": len(summaries),
+        **program.stats,
+    }
+    return report
+
+
+def _apply_suppressions(
+    report: FlowReport,
+    violations: list[FlowViolation],
+    sources: dict[str, tuple[str, str]],
+) -> None:
+    """Honor ``# reprolint: ignore[flow-...] -- why`` comments.
+
+    Malformed comments are the lint engine's job to flag (it owns the
+    ``suppression`` rule); here we only consume well-formed ones.
+    """
+    by_path: dict[str, dict[int, tuple[set[str], str]]] = {}
+    for path, source in sources.values():
+        suppressions, _problems = scan_suppression_comments(source, _KNOWN_IDS)
+        if suppressions:
+            by_path[path] = suppressions
+    for v in violations:
+        entry = by_path.get(v.path, {}).get(v.line)
+        if entry is not None and v.rule_id in entry[0] and entry[1]:
+            v.suppressed = True
+            v.justification = entry[1]
+        report.add(v)

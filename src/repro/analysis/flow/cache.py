@@ -1,0 +1,117 @@
+"""Hash-keyed summary store shared by ``repro-flow`` and
+``repro-lint --changed-only``.
+
+One JSON file holds namespaced entries (``flow-summary`` for module
+summaries, ``lint`` for replayable per-file lint results), each keyed
+by file path and guarded by a content digest.  A warm run re-reads
+sources only to hash them; every digest match replays the cached
+payload instead of re-analyzing, which is what keeps the CI warm pass
+in the single-digit-seconds budget the acceptance criteria demand.
+
+Entries not touched during a run are pruned at save time (within the
+namespaces that were actually consulted), so deleted/renamed files
+don't accrete.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+STORE_VERSION = 1
+
+DEFAULT_STORE_PATH = ".repro_flow_cache.json"
+
+
+def digest_source(source: str, *extra: str) -> str:
+    h = hashlib.sha256(source.encode("utf-8"))
+    for part in extra:
+        h.update(b"\x00")
+        h.update(part.encode("utf-8"))
+    return h.hexdigest()
+
+
+class SummaryStore:
+    """Single-file, namespace-partitioned, digest-guarded cache."""
+
+    def __init__(self, path: str | Path = DEFAULT_STORE_PATH) -> None:
+        self.path = Path(path)
+        self._entries: dict[str, dict[str, Any]] = {}
+        self._touched: set[str] = set()
+        self._used_namespaces: set[str] = set()
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        self._load()
+
+    @staticmethod
+    def _key(namespace: str, key: str) -> str:
+        return f"{namespace}\x00{key}"
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(raw, dict) or raw.get("store_version") != STORE_VERSION:
+            return
+        entries = raw.get("entries")
+        if isinstance(entries, dict):
+            for key, entry in entries.items():
+                if isinstance(entry, dict) and "digest" in entry and "payload" in entry:
+                    self._entries[key] = entry
+
+    def get(self, namespace: str, key: str, digest: str) -> Any | None:
+        self._used_namespaces.add(namespace)
+        full = self._key(namespace, key)
+        entry = self._entries.get(full)
+        if entry is not None and entry["digest"] == digest:
+            self.hits += 1
+            self._touched.add(full)
+            return entry["payload"]
+        self.misses += 1
+        return None
+
+    def put(self, namespace: str, key: str, digest: str, payload: Any) -> None:
+        self._used_namespaces.add(namespace)
+        full = self._key(namespace, key)
+        entry = self._entries.get(full)
+        if entry is not None and entry["digest"] == digest and entry["payload"] == payload:
+            self._touched.add(full)
+            return
+        self._entries[full] = {"digest": digest, "payload": payload}
+        self._touched.add(full)
+        self._dirty = True
+
+    def save(self) -> None:
+        """Write the store, pruning untouched keys in used namespaces."""
+        kept: dict[str, dict[str, Any]] = {}
+        pruned = False
+        for key, entry in self._entries.items():
+            namespace = key.split("\x00", 1)[0]
+            if namespace in self._used_namespaces and key not in self._touched:
+                pruned = True
+                continue
+            kept[key] = entry
+        if not self._dirty and not pruned and self.path.exists():
+            return
+        payload = {"store_version": STORE_VERSION, "entries": kept}
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            tmp.write_text(
+                json.dumps(payload, separators=(",", ":"), sort_keys=True),
+                encoding="utf-8",
+            )
+            os.replace(tmp, self.path)
+        except OSError:
+            # cache is advisory: a read-only checkout must not fail the run
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}

@@ -1,0 +1,181 @@
+"""Seed catalog: which stdlib/numpy callables introduce which effects.
+
+The effect lattice is a flat powerset over six atoms.  Catalog entries
+are the *sources*; everything else is inferred transitively through the
+call graph by :mod:`repro.analysis.flow.graph`.
+
+Effect atoms
+------------
+``wall_clock``
+    Reads the host clock (``time.time``, ``datetime.now``, ...).  Any
+    transitive reach from DES-pure code breaks same-seed replay because
+    the value differs between runs.
+``ambient_rng``
+    Draws entropy from process-global or OS state (``random.*``,
+    ``numpy.random`` module-level singleton, ``os.urandom``,
+    ``uuid.uuid4``).  Explicit ``Generator`` objects threaded through
+    :mod:`repro.util.rngtools` are *not* ambient and never match here.
+``unordered_iteration``
+    Iterates a hash-ordered container (``set``/``frozenset``) or an
+    OS-ordered listing (``os.listdir`` et al.) in a way that feeds
+    ordering downstream.  Hash order varies with ``PYTHONHASHSEED``;
+    directory order varies with the filesystem.
+``blocking_io``
+    Touches the outside world (files, sockets, subprocesses, sleeping).
+    Informational for DES-purity (stores legitimately write files) but
+    propagated so reports can show the reach.
+``global_mutation``
+    Mutates module-level state (``global`` rebinding, writes through a
+    module-level name such as a plugin registry).
+``allocates``
+    Builds containers/strings; intrinsic-only (never propagated) — it
+    exists for hot-path auditing, not contracts.
+"""
+
+from __future__ import annotations
+
+EFFECTS: tuple[str, ...] = (
+    "wall_clock",
+    "ambient_rng",
+    "unordered_iteration",
+    "global_mutation",
+    "blocking_io",
+    "allocates",
+)
+
+# Effects that flow caller-ward through call edges.  ``allocates`` is
+# deliberately intrinsic-only: transitively almost everything allocates,
+# so propagating it would say nothing.
+PROPAGATED_EFFECTS: frozenset[str] = frozenset(EFFECTS) - {"allocates"}
+
+# Wrapping one of these around an unordered source makes the use
+# order-independent: ``sorted(s)`` canonicalizes, the others reduce
+# without observing order.
+ORDER_INDEPENDENT_CONSUMERS: frozenset[str] = frozenset(
+    {"sorted", "min", "max", "sum", "any", "all", "len", "set", "frozenset"}
+)
+
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock_gettime",
+        "time.clock_gettime_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.asctime",
+        "time.ctime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+_AMBIENT_RNG = frozenset(
+    {
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+# numpy.random module-level singleton draws (ambient); explicit
+# Generator construction (default_rng/SeedSequence/Generator) is the
+# sanctioned seeded path and is NOT listed.
+_NP_RANDOM_AMBIENT = frozenset(
+    {
+        "seed",
+        "random",
+        "rand",
+        "randn",
+        "randint",
+        "random_sample",
+        "ranf",
+        "sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "poisson",
+        "exponential",
+        "binomial",
+        "bytes",
+        "get_state",
+        "set_state",
+    }
+)
+
+_BLOCKING_IO = frozenset(
+    {
+        "open",
+        "input",
+        "breakpoint",
+        "time.sleep",
+        "os.system",
+        "os.popen",
+        "os.fork",
+        "socket.socket",
+        "socket.create_connection",
+        "socket.create_server",
+        "select.select",
+        "selectors.DefaultSelector",
+    }
+)
+
+# Hash/OS-ordered sources: iterating their result without sorting is an
+# unordered-iteration hazard at the call site itself.
+_UNORDERED_SOURCES = frozenset(
+    {
+        "os.listdir",
+        "os.scandir",
+        "os.walk",
+        "glob.glob",
+        "glob.iglob",
+    }
+)
+
+# (prefix, effect) — matched when no exact entry applies.
+_PREFIXES: tuple[tuple[str, str], ...] = (
+    ("random.", "ambient_rng"),
+    ("secrets.", "ambient_rng"),
+    ("subprocess.", "blocking_io"),
+    ("urllib.request.", "blocking_io"),
+    ("requests.", "blocking_io"),
+    ("http.client.", "blocking_io"),
+)
+
+
+def effect_of(dotted: str) -> str | None:
+    """Return the effect a fully-expanded dotted callable introduces.
+
+    ``dotted`` must already have import aliases expanded (``np.random.x``
+    arriving as ``numpy.random.x``).  Returns ``None`` for unknown
+    names — unknown is clean, the transitive pass covers project code.
+    """
+    if dotted in _WALL_CLOCK:
+        return "wall_clock"
+    if dotted in _AMBIENT_RNG:
+        return "ambient_rng"
+    if dotted in _UNORDERED_SOURCES:
+        return "unordered_iteration"
+    if dotted in _BLOCKING_IO:
+        return "blocking_io"
+    if dotted.startswith("numpy.random."):
+        tail = dotted[len("numpy.random.") :]
+        if tail in _NP_RANDOM_AMBIENT:
+            return "ambient_rng"
+        return None
+    for prefix, effect in _PREFIXES:
+        if dotted.startswith(prefix):
+            return effect
+    return None

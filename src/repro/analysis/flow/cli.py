@@ -1,0 +1,101 @@
+"""``repro-flow`` console script: the whole-program determinism gate.
+
+Usage::
+
+    repro-flow [paths...] [--format text|json|sarif]
+               [--config pyproject.toml] [--no-cache] [--cache PATH]
+               [--sarif-out FILE] [--json-out FILE]
+               [--show-suppressed] [--list-rules]
+
+Paths default to ``src``.  Configuration comes from
+``[tool.reprolint.flow]``; suppressions reuse the reprolint comment
+syntax (``# reprolint: ignore[flow-des-purity] -- why``).
+
+Exit codes match ``repro-lint``: 0 clean, 1 violations, 2 usage/config
+error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.flow.api import analyze
+from repro.analysis.flow.cache import DEFAULT_STORE_PATH, SummaryStore
+from repro.analysis.flow.config import FlowConfig, FlowConfigError
+from repro.analysis.flow.report import EXIT_USAGE, FLOW_RULE_IDS
+from repro.analysis.lint.engine import LintConfigError
+
+__all__ = ["main"]
+
+
+def _write_out(path: str, payload: str) -> None:
+    from pathlib import Path
+
+    p = Path(path)
+    if p.parent and not p.parent.exists():
+        p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(payload, encoding="utf-8")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-flow",
+        description=(
+            "interprocedural effect/determinism analysis and wire-protocol "
+            "conformance for the repro tree"
+        ),
+    )
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to analyze (default: src)")
+    p.add_argument("--format", choices=("text", "json", "sarif"), default="text",
+                   help="report format (default: text)")
+    p.add_argument("--config", default="pyproject.toml",
+                   help="pyproject.toml holding [tool.reprolint.flow] "
+                        "(default: ./pyproject.toml)")
+    p.add_argument("--cache", default=DEFAULT_STORE_PATH, metavar="PATH",
+                   help=f"summary-store path (default: {DEFAULT_STORE_PATH})")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the per-module summary cache")
+    p.add_argument("--sarif-out", default=None, metavar="FILE",
+                   help="additionally write a SARIF report to FILE")
+    p.add_argument("--json-out", default=None, metavar="FILE",
+                   help="additionally write the JSON report to FILE")
+    p.add_argument("--show-suppressed", action="store_true",
+                   help="include suppressed violations in the text report")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the flow rule ids and exit")
+    return p
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_id, desc in FLOW_RULE_IDS.items():
+            print(f"{rule_id:28s} {desc}")
+        return 0
+    try:
+        config = FlowConfig.from_pyproject(args.config)
+        store = None if args.no_cache else SummaryStore(args.cache)
+        report = analyze(args.paths, config, store=store)
+    except (FlowConfigError, LintConfigError) as exc:
+        print(f"repro-flow: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.sarif_out:
+        _write_out(args.sarif_out, report.render_sarif())
+    if args.json_out:
+        _write_out(args.json_out, report.render_json())
+    if args.format == "json":
+        sys.stdout.write(report.render_json())
+    elif args.format == "sarif":
+        sys.stdout.write(report.render_sarif())
+    else:
+        sys.stdout.write(
+            report.render_text(show_suppressed=args.show_suppressed)
+        )
+    return report.exit_code()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

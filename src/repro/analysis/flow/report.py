@@ -1,0 +1,196 @@
+"""Violation model and text/JSON reporters for ``repro-flow``.
+
+Mirrors the shape of :mod:`repro.analysis.lint.engine`'s ``Report`` —
+same exit-code contract (0 clean, 1 violations, 2 usage/config error)
+and the same ``path:line:col: [rule-id] message`` text lines — but each
+violation can carry a *chain*: the interprocedural call path (or wire
+frame-layout walk) that justifies it, rendered indented beneath the
+headline line.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+JSON_SCHEMA_VERSION = 1
+
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_USAGE = 2
+
+FLOW_RULE_IDS: dict[str, str] = {
+    "flow-des-purity": (
+        "DES-pure packages must not transitively reach wall-clock, ambient "
+        "RNG, or unordered iteration (whole-program, call-chain traced)"
+    ),
+    "flow-clock-boundary": (
+        "wall-clock reads outside the sanctioned repro.util.timeutil "
+        "boundary module"
+    ),
+    "flow-unordered-iteration": (
+        "hash-ordered (set) or OS-ordered (listdir) iteration feeding "
+        "ordering in replay-sensitive packages"
+    ),
+    "flow-wire-conformance": (
+        "encoder/decoder struct formats, field widths, and flag masks must "
+        "agree for every wire message"
+    ),
+    "flow-msgtype-coverage": (
+        "every MsgType must be producible and consumable, with REQ/REPLY "
+        "pairing intact"
+    ),
+    "flow-hello-symmetry": (
+        "HELLO feature gates must be advertised and consumed symmetrically "
+        "across transports"
+    ),
+}
+
+
+@dataclass
+class ChainFrame:
+    """One hop of a call-chain (or frame-layout) trace."""
+
+    path: str
+    line: int
+    func: str
+    note: str
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"path": self.path, "line": self.line, "func": self.func, "note": self.note}
+
+
+@dataclass
+class FlowViolation:
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = "error"  # "error" | "warning"
+    chain: list[ChainFrame] = field(default_factory=list)
+    suppressed: bool = False
+    justification: str | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "severity": self.severity,
+        }
+        if self.chain:
+            out["chain"] = [f.as_dict() for f in self.chain]
+        if self.suppressed:
+            out["suppressed"] = True
+            out["justification"] = self.justification
+        return out
+
+
+@dataclass
+class FlowReport:
+    violations: list[FlowViolation] = field(default_factory=list)
+    suppressed: list[FlowViolation] = field(default_factory=list)
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    def add(self, violation: FlowViolation) -> None:
+        if violation.suppressed:
+            self.suppressed.append(violation)
+        else:
+            self.violations.append(violation)
+
+    def extend(self, violations: list[FlowViolation]) -> None:
+        for v in violations:
+            self.add(v)
+
+    def sort(self) -> None:
+        key = lambda v: (v.path, v.line, v.col, v.rule_id)  # noqa: E731
+        self.violations.sort(key=key)
+        self.suppressed.sort(key=key)
+
+    @property
+    def errors(self) -> list[FlowViolation]:
+        return [v for v in self.violations if v.severity == "error"]
+
+    @property
+    def warnings(self) -> list[FlowViolation]:
+        return [v for v in self.violations if v.severity == "warning"]
+
+    def exit_code(self) -> int:
+        return EXIT_VIOLATIONS if self.violations else EXIT_CLEAN
+
+    def render_text(self, *, show_suppressed: bool = False, show_stats: bool = True) -> str:
+        lines: list[str] = []
+        for v in self.violations:
+            sev = "" if v.severity == "error" else " (warning)"
+            lines.append(f"{v.path}:{v.line}:{v.col}: [{v.rule_id}]{sev} {v.message}")
+            for frame in v.chain:
+                lines.append(f"    {frame.path}:{frame.line}: in {frame.func}: {frame.note}")
+        if show_suppressed and self.suppressed:
+            lines.append("")
+            lines.append("suppressed:")
+            for v in self.suppressed:
+                why = v.justification or "(no justification)"
+                lines.append(
+                    f"{v.path}:{v.line}:{v.col}: [{v.rule_id}] {v.message} -- {why}"
+                )
+        n_err, n_warn = len(self.errors), len(self.warnings)
+        summary = (
+            f"repro-flow: {n_err} error(s), {n_warn} warning(s), "
+            f"{len(self.suppressed)} suppressed"
+        )
+        if show_stats and self.stats:
+            mods = self.stats.get("flow_modules_analyzed", 0)
+            hits = self.stats.get("flow_cache_hits", 0)
+            elapsed = self.stats.get("elapsed_s", 0.0)
+            summary += f" · {mods} modules ({hits} cached) in {elapsed:.2f}s"
+        lines.append(summary)
+        return "\n".join(lines) + "\n"
+
+    def render_json(self) -> str:
+        by_rule: dict[str, int] = {}
+        for v in self.violations:
+            by_rule[v.rule_id] = by_rule.get(v.rule_id, 0) + 1
+        payload = {
+            "schema_version": JSON_SCHEMA_VERSION,
+            "tool": "repro-flow",
+            "violations": [v.as_dict() for v in self.violations],
+            "suppressed": [v.as_dict() for v in self.suppressed],
+            "counts": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "suppressed": len(self.suppressed),
+                "by_rule": dict(sorted(by_rule.items())),
+            },
+            "stats": self.stats,
+        }
+        return json.dumps(payload, indent=2, sort_keys=False) + "\n"
+
+    def render_sarif(self) -> str:
+        from repro.analysis.sarif import sarif_from_violations
+
+        results = [
+            {
+                "rule_id": v.rule_id,
+                "level": "error" if v.severity == "error" else "warning",
+                "message": _sarif_message(v),
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+            }
+            for v in self.violations
+        ]
+        rules = [
+            {"id": rule_id, "description": desc} for rule_id, desc in FLOW_RULE_IDS.items()
+        ]
+        return sarif_from_violations("repro-flow", rules, results)
+
+
+def _sarif_message(v: FlowViolation) -> str:
+    if not v.chain:
+        return v.message
+    trail = " -> ".join(f"{f.func} ({f.path}:{f.line})" for f in v.chain)
+    return f"{v.message} | chain: {trail}"

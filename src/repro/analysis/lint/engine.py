@@ -44,13 +44,25 @@ __all__ = [
     "Rule",
     "Violation",
     "all_rules",
+    "path_to_module",
     "register_rule",
+    "scan_suppression_comments",
 ]
 
 SEVERITIES = ("error", "warning", "off")
 
 #: JSON reporter schema version (bump on breaking change).
 JSON_SCHEMA_VERSION = 1
+
+#: Cache-entry version for ``--changed-only`` replays (bump when the
+#: violation payload shape changes).
+LINT_CACHE_VERSION = 1
+
+#: Rule-id prefixes owned by sibling tools that share the suppression
+#: syntax.  ``# reprolint: ignore[flow-...]`` comments belong to
+#: ``repro-flow``; the lint engine must treat them as known (not
+#: malformed) while never matching them to its own rules.
+_EXTERNAL_ID_PREFIXES = ("flow-",)
 
 _SUPPRESS_RE = re.compile(
     r"#\s*reprolint:\s*ignore\[([A-Za-z0-9_\-,\s]+)\]\s*(?:--\s*(\S.*))?"
@@ -210,6 +222,8 @@ class LintConfig:
         select = table.pop("select", None)
         src_roots = tuple(table.pop("src-roots", ("src",)))
         rules = {str(k): dict(v) for k, v in table.pop("rules", {}).items()}
+        # [tool.reprolint.flow] belongs to repro-flow; not ours to validate.
+        table.pop("flow", None)
         if table:
             raise LintConfigError(
                 f"[tool.reprolint]: unknown keys {sorted(table)}"
@@ -224,6 +238,23 @@ class LintConfig:
             rules=rules,
             src_roots=src_roots,
         )
+
+    def digest(self) -> str:
+        """Stable fingerprint for ``--changed-only`` cache keys: a cached
+        verdict is only replayable under the exact same rule config."""
+        import hashlib
+
+        blob = json.dumps(
+            {
+                "select": self.select,
+                "rules": self.rules,
+                "src_roots": self.src_roots,
+                "cache_version": LINT_CACHE_VERSION,
+            },
+            sort_keys=True,
+            default=list,
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
 
 # ---------------------------------------------------------------------------
@@ -302,6 +333,8 @@ class Report:
     files: list[str] = field(default_factory=list)
     violations: list[Violation] = field(default_factory=list)
     suppressed: list[Violation] = field(default_factory=list)
+    #: files whose results were replayed from the summary cache
+    replayed: int = 0
 
     @property
     def errors(self) -> list[Violation]:
@@ -318,8 +351,10 @@ class Report:
     def render_text(self) -> str:
         lines = [v.format() for v in sorted(
             self.violations, key=lambda v: (v.path, v.line, v.col, v.rule))]
+        cached = f", {self.replayed} cached" if self.replayed else ""
         lines.append(
-            f"reprolint: {len(self.files)} files, {len(self.errors)} errors, "
+            f"reprolint: {len(self.files)} files{cached}, "
+            f"{len(self.errors)} errors, "
             f"{len(self.warnings)} warnings, {len(self.suppressed)} suppressed"
         )
         return "\n".join(lines)
@@ -339,11 +374,37 @@ class Report:
                     "errors": len(self.errors),
                     "warnings": len(self.warnings),
                     "suppressed": len(self.suppressed),
+                    "files_replayed_from_cache": self.replayed,
                 },
                 "exit_code": self.exit_code,
             },
             indent=2,
         )
+
+    def render_sarif(self) -> str:
+        from repro.analysis.sarif import sarif_from_violations
+
+        rules = [
+            {"id": rule_id, "description": cls.description}
+            for rule_id, cls in _RULE_REGISTRY.items()
+        ]
+        rules.append({"id": "parse-error", "description": "file failed to parse"})
+        rules.append({
+            "id": "suppression",
+            "description": _SuppressionRule.description,
+        })
+        results = [
+            {
+                "rule_id": v.rule,
+                "level": "error" if v.severity == "error" else "warning",
+                "message": v.message,
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+            }
+            for v in self.violations
+        ]
+        return sarif_from_violations("repro-lint", rules, results)
 
 
 # ---------------------------------------------------------------------------
@@ -382,17 +443,7 @@ class Engine:
     # -- path handling -------------------------------------------------------
     def module_name(self, path: Path) -> str:
         """Map a file path to a dotted module under a configured src root."""
-        parts = list(path.resolve().parts)
-        for root in self.config.src_roots:
-            if root in parts:
-                rel = parts[parts.index(root) + 1:]
-                if rel:
-                    if rel[-1] == "__init__.py":
-                        rel = rel[:-1]
-                    elif rel[-1].endswith(".py"):
-                        rel[-1] = rel[-1][:-3]
-                    return ".".join(rel)
-        return path.stem
+        return path_to_module(path, self.config.src_roots)
 
     @staticmethod
     def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
@@ -408,12 +459,49 @@ class Engine:
         return files
 
     # -- linting -------------------------------------------------------------
-    def lint_paths(self, paths: Iterable[str | Path]) -> Report:
+    def lint_paths(self, paths: Iterable[str | Path], store=None) -> Report:
+        """Lint files, optionally replaying unchanged ones from ``store``.
+
+        ``store`` is a :class:`repro.analysis.flow.cache.SummaryStore`
+        (duck-typed: ``get``/``put``).  A file whose content digest
+        matches the cached entry has its violations replayed verbatim
+        instead of being re-parsed — the ``--changed-only`` mode.
+        """
         report = Report()
+        config_digest = self.config.digest() if store is not None else ""
         for f in self.iter_python_files(paths):
-            self._lint_one(
-                f.read_text(encoding="utf-8"), str(f), self.module_name(f), report
-            )
+            source = f.read_text(encoding="utf-8")
+            if store is not None:
+                from repro.analysis.flow.cache import digest_source
+
+                digest = digest_source(source, config_digest)
+                cached = store.get("lint", str(f), digest)
+                if cached is not None:
+                    report.files.append(str(f))
+                    report.replayed += 1
+                    for obj in cached["violations"]:
+                        report.violations.append(_violation_from_cache(obj))
+                    for obj in cached["suppressed"]:
+                        report.suppressed.append(_violation_from_cache(obj))
+                    continue
+            before_v, before_s = len(report.violations), len(report.suppressed)
+            self._lint_one(source, str(f), self.module_name(f), report)
+            if store is not None:
+                store.put(
+                    "lint",
+                    str(f),
+                    digest,
+                    {
+                        "violations": [
+                            _violation_to_cache(v)
+                            for v in report.violations[before_v:]
+                        ],
+                        "suppressed": [
+                            _violation_to_cache(v)
+                            for v in report.suppressed[before_s:]
+                        ],
+                    },
+                )
         return report
 
     def lint_source(self, source: str, module: str,
@@ -473,29 +561,13 @@ class Engine:
 
     def _scan_suppressions(self, path: str, source: str,
                            report: Report) -> dict[int, tuple[set[str], str]]:
-        out: dict[int, tuple[set[str], str]] = {}
         known = set(_RULE_REGISTRY) | {"parse-error"}
-        for i, col, comment in self._iter_comments(source):
-            m = _SUPPRESS_RE.search(comment)
-            if not m:
-                continue
-            ids = {s.strip() for s in m.group(1).split(",") if s.strip()}
-            justification = (m.group(2) or "").strip()
-            unknown = ids - known
-            if unknown:
-                report.violations.append(Violation(
-                    path, i, col,
-                    self._suppression_rule.rule_id, "error",
-                    f"suppression names unknown rule(s) {sorted(unknown)}",
-                ))
-            if not justification:
-                report.violations.append(Violation(
-                    path, i, col,
-                    self._suppression_rule.rule_id, "error",
-                    "suppression lacks a justification "
-                    "(write `# reprolint: ignore[rule] -- why`)",
-                ))
-            out[i] = (ids, justification)
+        out, problems = scan_suppression_comments(source, known)
+        for line, col, message in problems:
+            report.violations.append(Violation(
+                path, line, col,
+                self._suppression_rule.rule_id, "error", message,
+            ))
         return out
 
     def _record(self, ctx: ModuleContext, rule: Rule, line: int, col: int,
@@ -511,3 +583,72 @@ class Engine:
         self._report.violations.append(Violation(
             ctx.path, line, col, rule.rule_id, rule.severity, message,
         ))
+
+
+# ---------------------------------------------------------------------------
+# shared helpers (also used by repro-flow)
+# ---------------------------------------------------------------------------
+
+
+def path_to_module(path: Path, src_roots: tuple[str, ...] = ("src",)) -> str:
+    """Map a file path to a dotted module under a configured src root."""
+    parts = list(Path(path).resolve().parts)
+    for root in src_roots:
+        if root in parts:
+            rel = parts[parts.index(root) + 1:]
+            if rel:
+                if rel[-1] == "__init__.py":
+                    rel = rel[:-1]
+                elif rel[-1].endswith(".py"):
+                    rel[-1] = rel[-1][:-3]
+                return ".".join(rel)
+    return Path(path).stem
+
+
+def scan_suppression_comments(
+    source: str, known_ids: set[str]
+) -> tuple[dict[int, tuple[set[str], str]], list[tuple[int, int, str]]]:
+    """Parse ``# reprolint: ignore[...] -- why`` comments from ``source``.
+
+    Returns ``(suppressions, problems)``: a line -> (rule ids,
+    justification) map, and a list of (line, col, message) problems for
+    malformed comments (unknown rule ids, missing justification).  Rule
+    ids starting with an external prefix (``flow-``) are always treated
+    as known — the owning tool validates them against its own registry.
+    """
+    out: dict[int, tuple[set[str], str]] = {}
+    problems: list[tuple[int, int, str]] = []
+    for i, col, comment in Engine._iter_comments(source):
+        m = _SUPPRESS_RE.search(comment)
+        if not m:
+            continue
+        ids = {s.strip() for s in m.group(1).split(",") if s.strip()}
+        justification = (m.group(2) or "").strip()
+        unknown = {
+            rid
+            for rid in ids - known_ids
+            if not rid.startswith(_EXTERNAL_ID_PREFIXES)
+        }
+        if unknown:
+            problems.append((
+                i, col,
+                f"suppression names unknown rule(s) {sorted(unknown)}",
+            ))
+        if not justification:
+            problems.append((
+                i, col,
+                "suppression lacks a justification "
+                "(write `# reprolint: ignore[rule] -- why`)",
+            ))
+        out[i] = (ids, justification)
+    return out, problems
+
+
+def _violation_to_cache(v: Violation) -> list:
+    return [v.path, v.line, v.col, v.rule, v.severity, v.message,
+            int(v.suppressed), v.justification]
+
+
+def _violation_from_cache(obj: list) -> Violation:
+    return Violation(obj[0], obj[1], obj[2], obj[3], obj[4], obj[5],
+                     suppressed=bool(obj[6]), justification=obj[7])

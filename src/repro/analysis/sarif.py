@@ -1,0 +1,89 @@
+"""Minimal SARIF 2.1.0 emission shared by ``repro-lint`` and ``repro-flow``.
+
+Produces just enough of the schema for GitHub code-scanning to render
+annotations: one run, one tool driver with rule metadata, and one
+result per violation with a physical location.  No external deps.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def _relative_uri(path: str) -> str:
+    p = Path(path)
+    try:
+        p = p.resolve().relative_to(Path.cwd().resolve())
+    except ValueError:
+        pass
+    return p.as_posix()
+
+
+def sarif_from_violations(
+    tool_name: str,
+    rules: list[dict[str, str]],
+    results: list[dict[str, Any]],
+    *,
+    tool_version: str = "1.0.0",
+) -> str:
+    """Build a SARIF document string.
+
+    ``rules``: ``[{"id": ..., "description": ...}, ...]``
+    ``results``: ``[{"rule_id", "level", "message", "path", "line", "col"}, ...]``
+    """
+    rule_index = {r["id"]: i for i, r in enumerate(rules)}
+    sarif_rules = [
+        {
+            "id": r["id"],
+            "shortDescription": {"text": r["description"]},
+            "helpUri": "",
+        }
+        for r in rules
+    ]
+    sarif_results = []
+    for res in results:
+        entry: dict[str, Any] = {
+            "ruleId": res["rule_id"],
+            "level": res.get("level", "error"),
+            "message": {"text": res["message"]},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _relative_uri(res["path"]),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": max(1, int(res.get("line", 1))),
+                            "startColumn": max(1, int(res.get("col", 0)) + 1),
+                        },
+                    }
+                }
+            ],
+        }
+        if res["rule_id"] in rule_index:
+            entry["ruleIndex"] = rule_index[res["rule_id"]]
+        sarif_results.append(entry)
+    doc = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "version": tool_version,
+                        "informationUri": "",
+                        "rules": sarif_rules,
+                    }
+                },
+                "results": sarif_results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2) + "\n"

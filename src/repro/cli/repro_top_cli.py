@@ -15,13 +15,13 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from repro.cli.client import SyncClient
 from repro.core import wire
 from repro.core.memory import Arena
 from repro.core.metric_set import MetricSet
 from repro.obs import SELF_SCHEMA
+from repro.util import timeutil
 
 __all__ = ["main", "collect_fleet", "render_fleet"]
 
@@ -104,19 +104,19 @@ def main(argv: list[str] | None = None) -> int:
 
     client = SyncClient(args.host, args.port)
     prev: dict[str, dict[str, int]] | None = None
-    t_prev = time.monotonic()
+    t_prev = timeutil.monotonic()
     frames = 0
     try:
         while True:
             fleet = collect_fleet(client)
-            now = time.monotonic()
+            now = timeutil.monotonic()
             print("\n".join(render_fleet(fleet, prev, now - t_prev)))
             sys.stdout.flush()
             prev, t_prev = fleet, now
             frames += 1
             if args.iterations and frames >= args.iterations:
                 break
-            time.sleep(args.interval)
+            timeutil.sleep(args.interval)
             print()
     except KeyboardInterrupt:
         pass

@@ -112,7 +112,7 @@ def _measure(name: str, plugins: list[tuple[str, dict]], profile: HostProfile,
                     store.submit(StoreRecord.from_set(s, "n0"))
         store.close()
         csv_bytes = sum(
-            os.path.getsize(os.path.join(tmp, f)) for f in os.listdir(tmp)
+            os.path.getsize(os.path.join(tmp, f)) for f in sorted(os.listdir(tmp))
         )
     rows_per_day = 86400.0 / interval
     csv_per_node_day = csv_bytes / samples_for_csv * rows_per_day

@@ -132,7 +132,9 @@ class CsvStore(StorePlugin):
                 f"{record.timestamp:.6f},{record.producer},{comp_id},{body}\n"
             )
             touched.add(schema)
-        for schema in touched:
+        # sorted: drain order must not depend on PYTHONHASHSEED, or the
+        # flush sequence (and thus file write order) varies across runs
+        for schema in sorted(touched):
             if len(buffers[schema]) >= self.buffer_lines:
                 self._drain(schema)
 

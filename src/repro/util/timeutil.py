@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import time as _time
 
-__all__ = ["monotonic", "perf_counter", "wall_clock"]
+__all__ = ["monotonic", "perf_counter", "sleep", "wall_clock"]
 
 
 def monotonic() -> float:
@@ -25,6 +25,15 @@ def monotonic() -> float:
 def perf_counter() -> float:
     """Highest-resolution host clock, for elapsed-time measurement."""
     return _time.perf_counter()
+
+
+def sleep(seconds: float) -> None:
+    """Host-clock sleep, for real-time pollers (``repro-top``).
+
+    Nothing under the DES may block on host time; live CLIs pacing
+    themselves against a real daemon are the only legitimate callers.
+    """
+    _time.sleep(seconds)
 
 
 def wall_clock() -> float:

@@ -1,0 +1,7 @@
+"""A 'DES engine' whose event stamping leaks to the host clock."""
+
+from despkg import helper
+
+
+def schedule_event(delay: float) -> float:
+    return helper.stamp() + delay

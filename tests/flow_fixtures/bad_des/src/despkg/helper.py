@@ -1,0 +1,7 @@
+"""In-package helper that calls out to a non-DES utility module."""
+
+import extutil
+
+
+def stamp() -> float:
+    return extutil.wallclock()

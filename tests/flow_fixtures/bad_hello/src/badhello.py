@@ -1,0 +1,12 @@
+"""A transport whose HELLO gate checks a feature nobody advertises
+(the ``-v2`` suffix was added on the consume side only)."""
+
+BASE_FEATURES = frozenset({"trace-ctx"})
+
+
+class Endpoint:
+    def __init__(self) -> None:
+        self.trace_ok = False
+
+    def negotiate(self, peer_features: frozenset) -> None:
+        self.trace_ok = "trace-ctx-v2" in peer_features

@@ -107,3 +107,19 @@ class TestFullCliPipeline:
         finally:
             server.close()
             daemon.shutdown()
+
+
+class TestReproTopClockBoundary:
+    def test_repro_top_routes_clock_through_timeutil(self):
+        # Regression (found by repro-flow): the poll loop read
+        # time.monotonic()/time.sleep() directly instead of going
+        # through the sanctioned repro.util.timeutil boundary.
+        import inspect
+
+        import repro.cli.repro_top_cli as mod
+
+        src = inspect.getsource(mod)
+        assert "time.monotonic(" not in src
+        assert "time.sleep(" not in src
+        assert "timeutil.monotonic(" in src
+        assert "timeutil.sleep(" in src

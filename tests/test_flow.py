@@ -1,0 +1,472 @@
+"""Tests for the whole-program flow analyzer (repro.analysis.flow).
+
+Coverage follows the analyzer's layers: module summary extraction,
+call-graph resolution + effect propagation (via ``analyze_sources``),
+wire-protocol conformance, the digest-guarded summary cache, the
+``repro-flow`` CLI against the deliberately-broken fixture projects
+under ``tests/flow_fixtures/``, and a self-host pass asserting the
+shipped tree is clean under the repo's own ``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.flow import (
+    EFFECTS,
+    FlowConfig,
+    SummaryStore,
+    analyze,
+    analyze_sources,
+    effect_of,
+    extract_module,
+)
+from repro.analysis.flow.cli import main as flow_main
+from repro.analysis.flow.config import FlowConfigError
+from repro.analysis.flow.report import FLOW_RULE_IDS
+
+FIXTURES = Path(__file__).parent / "flow_fixtures"
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def des_config(**overrides) -> FlowConfig:
+    """A config scoped to a synthetic DES-pure package ``p``."""
+    base = dict(
+        des_pure_packages=("p",),
+        boundary_modules=(),
+        ordered_packages=("p",),
+        wire_modules=(),
+        transport_modules=(),
+        dispatch_roots=(),
+    )
+    base.update(overrides)
+    return FlowConfig(**base)
+
+
+def rule_ids(report):
+    return [v.rule_id for v in report.violations if not v.suppressed]
+
+
+class TestCatalog:
+    def test_lattice_atoms(self):
+        assert len(EFFECTS) == 6
+        assert "wall_clock" in EFFECTS and "allocates" in EFFECTS
+
+    def test_effect_of_known_calls(self):
+        assert effect_of("time.time") == "wall_clock"
+        assert effect_of("time.sleep") == "blocking_io"
+        assert effect_of("os.urandom") == "ambient_rng"
+        assert effect_of("random.random") == "ambient_rng"
+        assert effect_of("os.listdir") == "unordered_iteration"
+
+    def test_seeded_numpy_generator_is_sanctioned(self):
+        # default_rng(seed) is the reproducible path; ambient module-level
+        # numpy.random.* is not.
+        assert effect_of("numpy.random.default_rng") is None
+        assert effect_of("numpy.random.shuffle") == "ambient_rng"
+
+    def test_unknown_is_none(self):
+        assert effect_of("math.sqrt") is None
+
+
+class TestSummaryExtraction:
+    def test_import_alias_expansion(self):
+        src = "import numpy as np\n\ndef f(x):\n    np.random.shuffle(x)\n"
+        summary = extract_module(src, "m", "<m>")
+        names = [c.name for c in summary.functions["f"].calls]
+        assert "numpy.random.shuffle" in names
+
+    def test_set_iteration_flagged_and_sorted_sanctioned(self):
+        src = textwrap.dedent(
+            """
+            def bad(s: set):
+                out = []
+                for x in s:
+                    out.append(x)
+                return out
+
+            def good(s: set):
+                out = []
+                for x in sorted(s):
+                    out.append(x)
+                return out
+            """
+        )
+        summary = extract_module(src, "m", "<m>")
+        bad = [e for e in summary.functions["bad"].effects
+               if e.effect == "unordered_iteration"]
+        good = [e for e in summary.functions["good"].effects
+                if e.effect == "unordered_iteration"]
+        assert bad and not good
+
+    def test_setcomp_order_free_but_listcomp_flagged(self):
+        src = textwrap.dedent(
+            """
+            def shrink(s: set):
+                return {x for x in s if x}
+
+            def leak(s: set):
+                return [x for x in s if x]
+            """
+        )
+        summary = extract_module(src, "m", "<m>")
+        assert not [e for e in summary.functions["shrink"].effects
+                    if e.effect == "unordered_iteration"]
+        assert [e for e in summary.functions["leak"].effects
+                if e.effect == "unordered_iteration"]
+
+    def test_getattr_prefix_dispatch_recorded(self):
+        src = textwrap.dedent(
+            """
+            class Control:
+                def handle(self, verb, arg):
+                    fn = getattr(self, f"_cmd_{verb}")
+                    return fn(arg)
+
+                def _cmd_start(self, arg):
+                    return arg
+            """
+        )
+        summary = extract_module(src, "m", "<m>")
+        assert ["handle", "_cmd_"] in [
+            list(p) for p in summary.classes["Control"].prefix_dispatch
+        ]
+
+    def test_summary_json_round_trip(self):
+        src = "import time\n\nclass C:\n    def m(self):\n        return time.time()\n"
+        summary = extract_module(src, "m", "<m>")
+        clone = type(summary).from_obj(summary.to_obj())
+        assert clone.to_obj() == summary.to_obj()
+
+    def test_syntax_error_raises(self):
+        with pytest.raises(SyntaxError):
+            extract_module("def f(:\n", "m", "<m>")
+
+
+class TestPropagation:
+    def test_transitive_chain_across_modules(self):
+        report = analyze_sources(
+            {
+                "p": "",
+                "p.engine": "from p import helper\n\ndef tick():\n    return helper.stamp()\n",
+                "p.helper": "import ext\n\ndef stamp():\n    return ext.wallclock()\n",
+                "ext": "import time\n\ndef wallclock():\n    return time.time()\n",
+            },
+            des_config(),
+        )
+        purity = [v for v in report.violations if v.rule_id == "flow-des-purity"]
+        assert len(purity) == 1
+        v = purity[0]
+        assert "p.helper.stamp" in v.message and "wall_clock" in v.message
+        # the chain walks out of the DES scope down to the clock read
+        assert any("ext.wallclock" in fr.note for fr in v.chain)
+        assert any("time.time" in fr.note for fr in v.chain)
+
+    def test_frontier_only_no_duplicate_per_chain(self):
+        # p.a -> p.b -> time.time(): only the frontier function (p.b,
+        # which owns the intrinsic site) reports; p.a inherits silently.
+        report = analyze_sources(
+            {
+                "p": "",
+                "p.a": "from p import b\n\ndef outer():\n    return b.inner()\n",
+                "p.b": "import time\n\ndef inner():\n    return time.time()\n",
+            },
+            des_config(),
+        )
+        purity = [v for v in report.violations if v.rule_id == "flow-des-purity"]
+        assert len(purity) == 1
+        assert "p.b.inner" in purity[0].message
+
+    def test_boundary_module_strips_effects(self):
+        report = analyze_sources(
+            {
+                "p": "",
+                "p.engine": "import clockutil\n\ndef now():\n    return clockutil.monotonic()\n",
+                "clockutil": "import time\n\ndef monotonic():\n    return time.monotonic()\n",
+            },
+            des_config(boundary_modules=("clockutil",)),
+        )
+        assert "flow-des-purity" not in rule_ids(report)
+
+    def test_virtual_dispatch_reaches_override(self):
+        # Base.run() calls self.hook(); the subclass override iterates a
+        # set, so calling run() from DES-pure code is a violation.
+        report = analyze_sources(
+            {
+                "p": "",
+                "p.base": textwrap.dedent(
+                    """
+                    class Base:
+                        def run(self):
+                            return self.hook()
+
+                        def hook(self):
+                            return 0
+                    """
+                ),
+                "p.sub": textwrap.dedent(
+                    """
+                    from p.base import Base
+
+                    class Sub(Base):
+                        def hook(self):
+                            acc = 0
+                            for x in self.pending:
+                                acc += x
+                            return acc
+
+                        def __init__(self):
+                            self.pending: set = set()
+                    """
+                ),
+            },
+            des_config(),
+        )
+        purity = [v for v in report.violations if v.rule_id == "flow-des-purity"]
+        assert any("Sub.hook" in v.message for v in purity)
+
+    def test_ambient_numpy_flagged_seeded_generator_clean(self):
+        report = analyze_sources(
+            {
+                "p": "",
+                "p.bad": "import numpy as np\n\ndef jitter():\n    return np.random.random()\n",
+                "p.good": (
+                    "import numpy as np\n\n"
+                    "def jitter(seed):\n"
+                    "    rng = np.random.default_rng(seed)\n"
+                    "    return rng.random()\n"
+                ),
+            },
+            des_config(),
+        )
+        purity = [v for v in report.violations if v.rule_id == "flow-des-purity"]
+        assert any("p.bad" in v.path or "p.bad" in v.message for v in purity)
+        assert not any("p.good" in v.path or "p.good" in v.message for v in purity)
+
+    def test_suppression_requires_justification(self):
+        src = (
+            "import time\n\n"
+            "def stamp():\n"
+            "    return time.time()  # reprolint: ignore[flow-des-purity] -- sim boot only\n"
+        )
+        report = analyze_sources({"p": "", "p.x": src}, des_config())
+        assert "flow-des-purity" not in rule_ids(report)
+        assert any(v.rule_id == "flow-des-purity" for v in report.suppressed)
+
+        bare = src.replace(" -- sim boot only", "")
+        report2 = analyze_sources({"p": "", "p.x": bare}, des_config())
+        assert "flow-des-purity" in rule_ids(report2)
+
+
+class TestWireConformance:
+    def wire_config(self):
+        return FlowConfig(
+            des_pure_packages=(),
+            boundary_modules=(),
+            ordered_packages=(),
+            wire_modules=("w",),
+            transport_modules=("w",),
+            dispatch_roots=(),
+        )
+
+    def test_matching_pair_is_clean(self):
+        src = textwrap.dedent(
+            """
+            import struct
+
+            class MsgType:
+                DATA = 1
+
+            def pack_data(seq, val):
+                return struct.pack("<IQ", seq, val)
+
+            def unpack_data(payload):
+                return struct.unpack_from("<IQ", payload, 0)
+            """
+        )
+        report = analyze_sources({"w": src}, self.wire_config())
+        assert not [v for v in report.violations
+                    if v.rule_id == "flow-wire-conformance" and v.severity == "error"]
+
+    def test_format_mismatch_reports_frame_layout(self):
+        src = (FIXTURES / "bad_wire" / "src" / "badwire.py").read_text()
+        report = analyze_sources({"w": src}, self.wire_config())
+        wire = [v for v in report.violations if v.rule_id == "flow-wire-conformance"]
+        mismatch = [v for v in wire if "disagrees" in v.message]
+        assert mismatch and mismatch[0].chain  # both frame layouts in the trace
+        offsets = [v for v in wire if "slices the payload" in v.message]
+        assert offsets and "16 bytes" in offsets[0].message
+
+
+class TestSummaryCache:
+    def write_project(self, root: Path) -> Path:
+        src = root / "src"
+        (src / "pkg").mkdir(parents=True)
+        (src / "pkg" / "__init__.py").write_text("")
+        (src / "pkg" / "a.py").write_text("def f():\n    return 1\n")
+        (src / "pkg" / "b.py").write_text("def g():\n    return 2\n")
+        return src
+
+    def quiet_config(self):
+        return FlowConfig(
+            des_pure_packages=(), boundary_modules=(), ordered_packages=(),
+            wire_modules=(), transport_modules=(), dispatch_roots=(),
+        )
+
+    def test_warm_run_hits_and_edit_invalidates(self, tmp_path):
+        src = self.write_project(tmp_path)
+        cache = tmp_path / "cache.json"
+        cfg = self.quiet_config()
+
+        r1 = analyze([src], cfg, store=SummaryStore(cache))
+        assert r1.stats["flow_cache_hits"] == 0
+        assert r1.stats["flow_modules_analyzed"] == 3
+        assert cache.exists()
+
+        r2 = analyze([src], cfg, store=SummaryStore(cache))
+        assert r2.stats["flow_cache_hits"] == 3
+        assert r2.stats["flow_cache_misses"] == 0
+
+        (src / "pkg" / "a.py").write_text("def f():\n    return 3\n")
+        r3 = analyze([src], cfg, store=SummaryStore(cache))
+        assert r3.stats["flow_cache_hits"] == 2
+        assert r3.stats["flow_cache_misses"] == 1
+
+    def test_store_prunes_untouched_entries(self, tmp_path):
+        path = tmp_path / "store.json"
+        s = SummaryStore(path)
+        s.put("ns", "keep", "d1", {"v": 1})
+        s.put("ns", "drop", "d2", {"v": 2})
+        s.save()
+
+        s2 = SummaryStore(path)
+        assert s2.get("ns", "keep", "d1") == {"v": 1}
+        s2.save()
+
+        s3 = SummaryStore(path)
+        assert s3.get("ns", "drop", "d2") is None
+        assert s3.get("ns", "keep", "d1") == {"v": 1}
+
+    def test_corrupt_store_is_tolerated(self, tmp_path):
+        path = tmp_path / "store.json"
+        path.write_text("{not json")
+        s = SummaryStore(path)
+        assert s.get("ns", "k", "d") is None
+        s.put("ns", "k", "d", [1])
+        s.save()
+        assert SummaryStore(path).get("ns", "k", "d") == [1]
+
+
+class TestCliFixtures:
+    def run_fixture(self, name, capsys, extra=()):
+        fixture = FIXTURES / name
+        code = flow_main(
+            [str(fixture / "src"), "--config", str(fixture / "pyproject.toml"),
+             "--no-cache", *extra]
+        )
+        return code, capsys.readouterr().out
+
+    def test_bad_des_traces_the_full_chain(self, capsys):
+        code, out = self.run_fixture("bad_des", capsys)
+        assert code == 1
+        assert "flow-des-purity" in out
+        assert "despkg.helper.stamp" in out
+        # the chain must cross the package boundary down to the clock read
+        assert "in despkg.helper.stamp: calls extutil.wallclock" in out
+        assert "in extutil.wallclock: calls time.time()" in out
+
+    def test_bad_wire_reports_format_and_offset(self, capsys):
+        code, out = self.run_fixture("bad_wire", capsys)
+        assert code == 1
+        assert "flow-wire-conformance" in out
+        assert "decoder reads [I I] but encoder writes [I Q]" in out
+        assert "slices the payload at byte 12" in out
+        assert "'<iQI' is 16 bytes" in out
+
+    def test_bad_hello_gate_can_never_open(self, capsys):
+        code, out = self.run_fixture("bad_hello", capsys)
+        assert code == 1
+        assert "flow-hello-symmetry" in out
+        assert "never advertised" in out
+        assert "trace-ctx-v2" in out
+
+    def test_json_report_schema(self, capsys):
+        code, out = self.run_fixture("bad_des", capsys, extra=("--format", "json"))
+        assert code == 1
+        doc = json.loads(out)
+        assert doc["schema_version"] == 1
+        assert doc["tool"] == "repro-flow"
+        assert doc["counts"]["by_rule"]["flow-des-purity"] >= 1
+        assert doc["stats"]["flow_modules_analyzed"] == 4
+        assert set(FLOW_RULE_IDS) == set(doc["stats"]["rules"])
+
+    def test_sarif_output(self, capsys, tmp_path):
+        sarif_file = tmp_path / "flow.sarif"
+        code, out = self.run_fixture(
+            "bad_wire", capsys,
+            extra=("--format", "sarif", "--sarif-out", str(sarif_file)),
+        )
+        assert code == 1
+        doc = json.loads(out)
+        assert doc["version"] == "2.1.0"
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-flow"
+        assert any(r["id"] == "flow-wire-conformance" for r in driver["rules"])
+        assert doc == json.loads(sarif_file.read_text())
+
+    def test_list_rules(self, capsys):
+        assert flow_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in FLOW_RULE_IDS:
+            assert rule_id in out
+
+    def test_unknown_config_key_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "pyproject.toml"
+        bad.write_text("[tool.reprolint.flow]\nno-such-key = []\n")
+        (tmp_path / "src").mkdir()
+        code = flow_main([str(tmp_path / "src"), "--config", str(bad)])
+        assert code == 2
+        assert "no-such-key" in capsys.readouterr().err
+
+
+class TestConfig:
+    def test_from_table_rejects_unknown_keys(self):
+        with pytest.raises(FlowConfigError):
+            FlowConfig.from_table({"wat": []})
+
+    def test_digest_changes_with_scope(self):
+        a = FlowConfig()
+        b = FlowConfig(des_pure_packages=("other",))
+        assert a.digest() != b.digest()
+
+    def test_package_scoping(self):
+        cfg = FlowConfig(des_pure_packages=("repro.sim",))
+        assert cfg.in_des_pure("repro.sim")
+        assert cfg.in_des_pure("repro.sim.des")
+        assert not cfg.in_des_pure("repro.simx")
+
+
+class TestSelfHost:
+    def test_tree_is_flow_clean(self, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        cfg = FlowConfig.from_pyproject(REPO_ROOT / "pyproject.toml")
+        report = analyze(["src"], cfg)
+        assert report.errors == []
+        assert report.warnings == []
+        assert report.exit_code() == 0
+        assert report.stats["flow_modules_analyzed"] > 100
+        assert report.stats["flow_edges"] > 0
+        assert report.stats["elapsed_s"] < 30  # cold-pass budget
+
+    def test_warm_self_host_within_budget(self, monkeypatch, tmp_path):
+        monkeypatch.chdir(REPO_ROOT)
+        cfg = FlowConfig.from_pyproject(REPO_ROOT / "pyproject.toml")
+        cache = tmp_path / "cache.json"
+        analyze(["src"], cfg, store=SummaryStore(cache))
+        warm = analyze(["src"], cfg, store=SummaryStore(cache))
+        assert warm.stats["flow_cache_hits"] == warm.stats["flow_modules_analyzed"]
+        assert warm.stats["elapsed_s"] < 5  # warm-pass budget

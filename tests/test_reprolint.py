@@ -219,7 +219,12 @@ class TestReporters:
         assert doc["tool"] == "reprolint"
         assert doc["version"] == JSON_SCHEMA_VERSION
         assert doc["files_scanned"] == 1
-        assert doc["summary"] == {"errors": 1, "warnings": 0, "suppressed": 0}
+        assert doc["summary"] == {
+            "errors": 1,
+            "warnings": 0,
+            "suppressed": 0,
+            "files_replayed_from_cache": 0,
+        }
         assert doc["exit_code"] == 1
         (v,) = doc["violations"]
         assert set(v) == {"path", "line", "col", "rule", "severity", "message"}
@@ -269,3 +274,167 @@ class TestSelfHost:
         # which the empty violations list above already rules out).
         for s in report.suppressed:
             assert s.justification
+
+
+class TestSuppressionEdgeCases:
+    """Scanner corner cases: multi-line statements, reprolint-lookalike
+    text inside f-strings, decorated defs, and external ``flow-`` ids
+    shared with ``repro-flow``."""
+
+    def engine(self, *rules):
+        return Engine(LintConfig(select=rules or ("des-purity",)))
+
+    def test_multiline_statement_suppressed_on_call_line(self):
+        # The violation is reported at the offending call's physical
+        # line, so that is where the suppression must sit — even when
+        # the statement spans several lines.
+        src = (
+            "import time\n\n"
+            "def f():\n"
+            "    return (\n"
+            "        time.time()  # reprolint: ignore[des-purity] -- boot stamp\n"
+            "    )\n"
+        )
+        report = self.engine().lint_source(src, module="repro.core.x")
+        assert report.violations == []
+        assert [s.line for s in report.suppressed] == [5]
+
+    def test_multiline_statement_opening_line_comment_does_not_apply(self):
+        # Suppressions are line-scoped: a comment on the statement's
+        # opening line does not cover a call on a continuation line.
+        src = (
+            "import time\n\n"
+            "def f():\n"
+            "    return (  # reprolint: ignore[des-purity] -- wrong line\n"
+            "        time.time()\n"
+            "    )\n"
+        )
+        report = self.engine().lint_source(src, module="repro.core.x")
+        assert [v.rule for v in report.violations] == ["des-purity"]
+        assert report.violations[0].line == 5
+
+    def test_fstring_lookalike_is_inert_and_not_malformed(self):
+        # An f-string *containing* suppression syntax is data, not a
+        # live comment: it must neither suppress nor be flagged as a
+        # malformed suppression.
+        src = (
+            "import time\n"
+            "def g(rule):\n"
+            '    return f"# reprolint: ignore[{rule}]"\n'
+            "def f():\n"
+            "    return time.time()\n"
+        )
+        report = self.engine().lint_source(src, module="repro.core.x")
+        assert [v.rule for v in report.violations] == ["des-purity"]
+        assert report.suppressed == []
+
+    def test_decorated_def_suppression_on_def_line(self):
+        # mutable-default-arg reports on the signature line; the def
+        # line carries the suppression even under a decorator.
+        src = (
+            "import functools\n"
+            "@functools.lru_cache\n"
+            "def f(x=[]):  # reprolint: ignore[mutable-default-arg] -- interned\n"
+            "    return x\n"
+        )
+        report = self.engine("mutable-default-arg").lint_source(
+            src, module="repro.core.x")
+        assert report.violations == []
+        assert [s.rule for s in report.suppressed] == ["mutable-default-arg"]
+
+    def test_decorated_def_suppression_on_decorator_line_does_not_apply(self):
+        src = (
+            "import functools\n"
+            "@functools.lru_cache  # reprolint: ignore[mutable-default-arg] -- nope\n"
+            "def f(x=[]):\n"
+            "    return x\n"
+        )
+        report = self.engine("mutable-default-arg").lint_source(
+            src, module="repro.core.x")
+        assert [v.rule for v in report.violations] == ["mutable-default-arg"]
+
+    def test_flow_rule_ids_are_known_to_the_lint_engine(self):
+        # flow- ids belong to repro-flow; the lint engine must accept
+        # them as known (no unknown-rule error) while still demanding a
+        # justification.
+        from repro.analysis.lint.engine import scan_suppression_comments
+
+        supp, problems = scan_suppression_comments(
+            "x = 1  # reprolint: ignore[flow-des-purity] -- sim boot\n",
+            known_ids={"des-purity"},
+        )
+        assert supp[1] == ({"flow-des-purity"}, "sim boot")
+        assert problems == []
+
+        _supp, problems = scan_suppression_comments(
+            "x = 1  # reprolint: ignore[flow-des-purity]\n",
+            known_ids={"des-purity"},
+        )
+        assert any("justification" in msg for (_l, _c, msg) in problems)
+
+    def test_mixed_known_and_flow_ids_in_one_comment(self):
+        src = (
+            "import time\n\n"
+            "def f():\n"
+            "    return time.time()  "
+            "# reprolint: ignore[des-purity, flow-des-purity] -- fixture\n"
+        )
+        report = self.engine().lint_source(src, module="repro.core.x")
+        assert report.violations == []
+        assert len(report.suppressed) == 1
+
+
+class TestChangedOnly:
+    """--changed-only incremental mode: unchanged files replay their
+    cached verdicts (violations included) from the shared summary
+    store; edited files are re-linted."""
+
+    def write_project(self, root):
+        src = root / "src" / "repro" / "core"
+        src.mkdir(parents=True)
+        (src / "bad.py").write_text(
+            "import time\n\ndef f():\n    return time.time()\n")
+        (src / "ok.py").write_text("def g():\n    return 1\n")
+        return root / "src"
+
+    def run(self, tmp_path, capsys):
+        code = lint_main([
+            str(tmp_path / "src"), "--select", "des-purity",
+            "--changed-only", "--cache", str(tmp_path / "cache.json"),
+            "--config", str(tmp_path / "pyproject.toml"),
+        ])
+        return code, capsys.readouterr().out
+
+    def test_replay_and_invalidation(self, tmp_path, capsys):
+        self.write_project(tmp_path)
+
+        code1, out1 = self.run(tmp_path, capsys)
+        assert code1 == 1
+        assert "des-purity" in out1
+        assert "cached" not in out1  # cold run replays nothing
+
+        code2, out2 = self.run(tmp_path, capsys)
+        assert code2 == 1
+        assert "des-purity" in out2  # violations replay verbatim
+        assert "2 cached" in out2
+
+        # fixing the file invalidates only its entry
+        (tmp_path / "src" / "repro" / "core" / "bad.py").write_text(
+            "def f():\n    return 0\n")
+        code3, out3 = self.run(tmp_path, capsys)
+        assert code3 == 0
+        assert "1 cached" in out3
+
+    def test_json_reports_replay_count(self, tmp_path, capsys):
+        self.write_project(tmp_path)
+        args = [
+            str(tmp_path / "src"), "--select", "des-purity",
+            "--changed-only", "--cache", str(tmp_path / "cache.json"),
+            "--config", str(tmp_path / "pyproject.toml"),
+            "--format", "json",
+        ]
+        lint_main(args)
+        capsys.readouterr()
+        lint_main(args)
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["files_replayed_from_cache"] == 2

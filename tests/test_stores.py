@@ -115,6 +115,28 @@ class TestCsvStore:
         with pytest.raises(ConfigError):
             CsvStore().config()
 
+    def test_store_many_drain_order_is_sorted(self, tmp_path, monkeypatch):
+        # Regression (found by repro-flow): the batched path collected
+        # touched schemas in a set and drained in set-iteration order,
+        # which varies with PYTHONHASHSEED.  Drain order must be sorted
+        # regardless of record arrival order.
+        drained: list[str] = []
+        orig = CsvStore._drain
+
+        def spy(self, schema):
+            drained.append(schema)
+            return orig(self, schema)
+
+        monkeypatch.setattr(CsvStore, "_drain", spy)
+        s = self._store(tmp_path)
+        s.store_many([
+            rec(schema="zeta", set_name="n0/zeta"),
+            rec(schema="alpha", set_name="n0/alpha"),
+            rec(schema="mid", set_name="n0/mid"),
+        ])
+        s.close()
+        assert drained[:3] == ["alpha", "mid", "zeta"]
+
     def test_policy_applied_via_submit(self, tmp_path):
         s = self._store(tmp_path)
         s.policy = StorePolicy(schema="other")

@@ -202,3 +202,19 @@ class TestRngTools:
     @given(st.integers(min_value=0, max_value=2**31))
     def test_stable_seed_in_u32_range(self, n):
         assert 0 <= stable_seed(n) < 2**32
+
+
+class TestTimeutil:
+    def test_sleep_exists_and_sleeps(self):
+        from repro.util import timeutil
+
+        t0 = timeutil.monotonic()
+        timeutil.sleep(0.01)
+        assert timeutil.monotonic() - t0 >= 0.005
+
+    def test_clock_functions_return_floats(self):
+        from repro.util import timeutil
+
+        assert isinstance(timeutil.monotonic(), float)
+        assert isinstance(timeutil.perf_counter(), float)
+        assert isinstance(timeutil.wall_clock(), float)
