@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""CI smoke: the query/serving tier holds its shape at reduced scale.
+
+Runs the :mod:`repro.experiments.query_load` client-population
+experiment (pollers + alert evaluators + range scanners against one
+aggregator) twice and checks the properties that define the tier, all
+machine-independent:
+
+1. **Traffic served.**  Every client class got replies; reply count
+   tracks request count (the only shortfall allowed is requests still
+   in flight at the horizon).
+2. **Cache effectiveness.**  The hot-window + LRU cache answers the
+   dashboard-heavy mix: hit rate must clear ``MIN_HIT_PERMILLE``
+   (dashboards poll the hot window; evaluators repeat identical rollup
+   queries — the measured smoke-scale rate is ~90%+, floor 600‰).
+3. **Latency sanity.**  Served p50/p95/p99 are simulated quantities
+   (worker-pool queueing + per-row cost), so they are *exact* across
+   runs and must be non-zero and ordered p50 <= p95 <= p99.
+4. **Determinism.**  The same-seed replay fingerprint — every counter,
+   every quantile, and the SHA-256 of the SOS container bytes — must
+   match exactly.
+
+Writes the full trajectory to ``BENCH_query.json`` for the CI
+artifact.
+
+    PYTHONPATH=src python benchmarks/check_query.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+MIN_HIT_PERMILLE = 600
+OUT_PATH = os.environ.get("BENCH_QUERY_OUT", "BENCH_query.json")
+
+N_SAMPLERS = 8
+N_METRICS = 6
+INTERVAL = 1.0
+DURATION = 120.0
+
+
+def main() -> int:
+    from repro.experiments import query_load
+
+    t0 = time.perf_counter()
+    out = query_load.main([
+        "--samplers", str(N_SAMPLERS),
+        "--metrics", str(N_METRICS),
+        "--interval", str(INTERVAL),
+        "--duration", str(DURATION),
+        "--out", OUT_PATH,
+    ])
+    wall = time.perf_counter() - t0
+    r = out["run"]
+
+    failures = []
+    for kind in ("poller", "evaluator", "scanner"):
+        s = getattr(r, kind)
+        if s.replies == 0:
+            failures.append(f"{kind}: no replies served")
+        if s.sent - s.replies > s.clients:
+            failures.append(
+                f"{kind}: {s.sent - s.replies} unanswered requests "
+                f"(> {s.clients} in-flight allowance)")
+    if r.cache_hit_permille < MIN_HIT_PERMILLE:
+        failures.append(
+            f"cache hit rate {r.cache_hit_permille}‰ under the "
+            f"{MIN_HIT_PERMILLE}‰ floor")
+    if not (0 < r.serve_us_p50 <= r.serve_us_p95 <= r.serve_us_p99):
+        failures.append(
+            f"served quantiles broken: p50={r.serve_us_p50} "
+            f"p95={r.serve_us_p95} p99={r.serve_us_p99}")
+    if r.rows_served == 0:
+        failures.append("no rows served")
+    if not out["deterministic"]:
+        failures.append("same-seed replay diverged")
+
+    with open(OUT_PATH, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    doc["wall_s"] = round(wall, 3)
+    with open(OUT_PATH, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=1, sort_keys=True)
+
+    if failures:
+        for msg in failures:
+            print(f"FAIL: {msg}", file=sys.stderr)
+        return 1
+    print(f"query smoke ok: {r.query_requests} requests, "
+          f"{r.cache_hit_permille / 10:.1f}% cached, "
+          f"p99 {r.serve_us_p99}us, deterministic, {wall:.1f}s wall")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -67,6 +67,29 @@ class SyncClient:
             raise TimeoutError("region read timed out")
         return holder.get("data")
 
+    def query(self, schema: str, t0: float, t1: float, level: int = 0,
+              comp_id: int = 0, max_records: int = 0):
+        """Run one feature-gated QUERY round-trip; returns
+        ``(status, flags, names, rows)``.
+
+        The sock transport consumes the peer's HELLO inside its reader
+        loop, so the feature set may land shortly after connect —
+        wait for it before sending (old daemons never advertise
+        ``"query"`` and must not see the unknown MsgType).
+        """
+        waited = 0.0
+        while not self.ep.query_ok and waited < self.timeout:
+            threading.Event().wait(0.02)
+            waited += 0.02
+        if not self.ep.query_ok:
+            raise ConnectionError(
+                "daemon did not advertise the 'query' feature")
+        reply = self.request(wire.encode_frame(
+            wire.MsgType.QUERY_REQ, 1,
+            wire.pack_query_req(schema, t0, t1, level, comp_id,
+                                max_records)))
+        return wire.unpack_query_reply(reply.payload)
+
     def peer_age(self, ts: float) -> float | None:
         """Age of a remote timestamp on the peer's clock (see
         :meth:`repro.transport.base.Endpoint.peer_age`)."""

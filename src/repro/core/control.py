@@ -24,6 +24,7 @@ Supported commands (attribute syntax is ``key=value``)::
     standby_activate name=<producer>
     store name=<store-plugin> [schema=<schema>] [container=<path>]
           [producers=<a>,<b>] [metrics=<m1>,<m2>] [plugin args...]
+    enable_query [hot_window=<sec>] [cache_entries=<n>]
     dir
     stats
     prof [export=chrome]
@@ -250,6 +251,15 @@ class ControlChannel:
             name, schema=schema, producers=producers, metrics=metrics, **passthrough
         )
         return f"store {name} configured"
+
+    def _cmd_enable_query(self, attrs) -> str:
+        """``enable_query [hot_window=<s>] [cache_entries=<n>]``: attach
+        the query/serving tier to the daemon's SOS store (PR 9)."""
+        self.daemon.enable_query(
+            hot_window=float(attrs.get("hot_window", 60.0)),
+            cache_entries=int(attrs.get("cache_entries", 256)),
+        )
+        return "query enabled"
 
     def _cmd_dir(self, attrs) -> str:
         """``dir``: JSON directory of published sets (name/schema/sizes)."""

@@ -60,6 +60,12 @@ CONNECT_CPU_COST = 50e-6
 #: Simulated store cost: per record base + per metric formatting cost.
 STORE_BASE_COST = 10e-6
 STORE_PER_METRIC_COST = 4e-6
+#: Simulated query-serving cost: per request base (parse + index
+#: bisect) + per returned row (record decode + serialization).  The
+#: query runs on the worker pool, so p95/p99 under load reflect pool
+#: contention with the update pipeline.
+QUERY_BASE_COST = 20e-6
+QUERY_PER_ROW_COST = 0.2e-6
 
 
 class _SamplerSchedule:
@@ -243,6 +249,8 @@ class Ldmsd:
         self._c_dir_req = self.obs.counter("serve.dir_req")
         self._c_lookup_req = self.obs.counter("serve.lookup_req")
         self._c_update_req = self.obs.counter("serve.update_req")
+        self._c_query_req = self.obs.counter("serve.query_req")
+        self._h_query = self.obs.histogram("serve.query")
         self._c_arena_sweeps = self.obs.counter("arena.sweeps")
         self._c_arena_rows = self.obs.counter("arena.rows_vectorized")
         self._c_arena_fallback = self.obs.counter("arena.fallback_sets")
@@ -281,6 +289,9 @@ class Ldmsd:
         #: loop ({"stopped", "attempts", "endpoint"}).
         self._advertisements: dict[str, dict] = {}
         self.records_delivered = 0
+        #: Serving tier (PR 9): the query engine over this daemon's SOS
+        #: store, or None until :meth:`enable_query`.
+        self.query_engine = None
         self._shutdown = False
 
     # ------------------------------------------------------------------
@@ -598,6 +609,79 @@ class Ldmsd:
                 endpoint.send(
                     wire.encode_frame(wire.MsgType.UPDATE_REPLY, frame.request_id, reply)
                 )
+            elif frame.msg_type == wire.MsgType.QUERY_REQ:
+                self._c_query_req.inc()
+                self._serve_query(endpoint, frame)
+
+    def _serve_query(self, endpoint: Endpoint, frame: wire.Frame) -> None:
+        """Answer a QUERY_REQ on the worker pool.
+
+        The scan itself prices the task: the pool cost is a callable
+        that runs the query when the worker is granted and returns
+        ``QUERY_BASE_COST + QUERY_PER_ROW_COST x rows``, so the reply
+        leaves at the end of a busy window sized by the actual result —
+        and served latency quantiles include queueing behind the update
+        pipeline on the same pool.  (RealEnv pools never evaluate the
+        cost callable; the reply closure runs the query there.)
+        """
+        eng = self.query_engine
+        rid = frame.request_id
+        if eng is None:
+            endpoint.send(wire.encode_frame(
+                wire.MsgType.QUERY_REPLY, rid,
+                wire.pack_query_reply(wire.E_NOENT)))
+            return
+        schema, t0, t1, level, comp_id, max_records = wire.unpack_query_req(
+            frame.payload)
+        t_start = self.env.now()
+        holder: list = []
+
+        def run_query() -> float:
+            res = eng.query(schema, t0, t1, level=level, comp_id=comp_id,
+                            max_records=max_records)
+            holder.append(res)
+            return QUERY_BASE_COST + QUERY_PER_ROW_COST * len(res.rows)
+
+        def reply() -> None:
+            with self.lock:
+                if not holder:
+                    holder.append(eng.query(schema, t0, t1, level=level,
+                                            comp_id=comp_id,
+                                            max_records=max_records))
+                res = holder[0]
+                self._h_query.observe(self.env.now() - t_start)
+                if not endpoint.closed:
+                    endpoint.send(wire.encode_frame(
+                        wire.MsgType.QUERY_REPLY, rid,
+                        wire.pack_query_reply(res.status, res.names,
+                                              res.rows, res.flags())))
+
+        self.worker_pool.submit(reply, cost=run_query, core=self.core,
+                                tag="query")
+
+    def enable_query(self, store=None, hot_window: float = 60.0,
+                     cache_entries: int = 256):
+        """Attach the query/serving tier to this daemon's SOS store.
+
+        ``store=None`` picks the first configured
+        :class:`~repro.plugins.stores.sos.SosStore`.  Served queries
+        arrive as feature-gated ``QUERY_REQ`` frames on any listening
+        transport and run on the worker pool.
+        """
+        from repro.plugins.stores.sos import SosStore
+        from repro.query.engine import QueryEngine
+
+        with self.lock:
+            if store is None:
+                store = next(
+                    (s for s in self.stores if isinstance(s, SosStore)), None)
+            if store is None:
+                raise ConfigError(
+                    f"{self.name}: enable_query needs a configured sos store")
+            self.query_engine = QueryEngine(
+                store, self.env.now, obs=self.obs,
+                hot_window=hot_window, cache_entries=cache_entries)
+            return self.query_engine
 
     def _region_id_for(self, set_name: str) -> int:
         rid = self._region_ids.get(set_name)
@@ -1103,6 +1187,13 @@ class Ldmsd:
                              if self.set_pool is not None
                              else {"arenas": 0, "blocks": 0, "rows": 0}),
                 "freshness": self.freshness.fleet(self.env.now()),
+                # Schema-stable like set_pool: zeroed when the serving
+                # tier is not enabled on this daemon.
+                "query": (self.query_engine.stats()
+                          if self.query_engine is not None
+                          else {"requests": 0, "cache_hits": 0,
+                                "cache_misses": 0, "rows_served": 0,
+                                "lru_entries": 0, "hot_containers": 0}),
                 "stores": [
                     {
                         "plugin": s.plugin_name,

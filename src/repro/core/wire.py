@@ -27,10 +27,11 @@ blob between the header and the payload:
 coalesced multi-read (0 for single-region frames); ``trace_id`` /
 ``parent_span`` / ``hop`` are the exemplar trace id, the sender's span
 id, and the sender's hop number (:mod:`repro.obs.spans`).  Because the
-flag bit was reserved (``msg_type`` ≤ 12), old decoders would reject
+flag bit was reserved (``msg_type`` ≤ 14), old decoders would reject
 flagged frames — so senders only set it after the peer advertised the
 ``trace-ctx`` feature in its :data:`MsgType.HELLO` greeting, keeping
-mixed-version fleets interoperable.
+mixed-version fleets interoperable.  The query messages (13/14) are
+gated the same way behind the ``query`` feature.
 """
 
 from __future__ import annotations
@@ -61,6 +62,12 @@ __all__ = [
     "unpack_read_multi_req",
     "pack_read_multi_reply",
     "unpack_read_multi_reply",
+    "pack_query_req",
+    "unpack_query_req",
+    "pack_query_reply",
+    "unpack_query_reply",
+    "QUERY_TRUNCATED",
+    "QUERY_CACHE_HIT",
     "TRACE_FLAG",
     "pack_trace_ctx",
     "unpack_trace_ctx",
@@ -92,6 +99,8 @@ class MsgType:
     RDMA_READ_MULTI_REQ = 10  # coalesced read: N regions, one frame each way
     RDMA_READ_MULTI_REPLY = 11
     HELLO = 12  # transport-internal greeting: peer clock + feature list
+    QUERY_REQ = 13  # serving tier: time-range query over the SOS store
+    QUERY_REPLY = 14  # (feature-gated: peer must advertise "query")
 
 
 #: High bit of ``msg_type``: the frame carries a trace-context blob.
@@ -363,6 +372,73 @@ def unpack_read_multi_reply(payload: bytes) -> list[bytes | None]:
         parts.append(bytes(payload[pos : pos + dlen]) if status == E_OK else None)
         pos += dlen
     return parts
+
+
+# ---------------------------------------------------------------------------
+# QUERY (serving tier, PR 9): a client asks an aggregator for a time
+# range of stored records — base data (level=0) or a pre-computed
+# rollup (level=N seconds).  Feature-gated like TRACE_FLAG: MsgType 13
+# and 14 did not exist before this build, so clients only send
+# QUERY_REQ after the peer's HELLO advertised the "query" feature.
+#
+# Request:  f64 t0 | f64 t1 | u32 level | u32 comp_id | u32 max_records
+#           | u16 schema_len | schema — comp_id 0 means all components;
+#           max_records 0 means unbounded.
+# Reply:    i32 status | u8 flags | u32 ncols | ncols x (u16 len | name)
+#           | u32 nrows | nrows x (f64 ts | u32 comp_id | ncols x f64)
+# ---------------------------------------------------------------------------
+
+#: Reply flag bits: the row set was cut at ``max_records``; the reply
+#: was served from the hot-window / LRU cache.
+QUERY_TRUNCATED = 0x01
+QUERY_CACHE_HIT = 0x02
+
+
+def pack_query_req(schema: str, t0: float, t1: float, level: int = 0,
+                   comp_id: int = 0, max_records: int = 0) -> bytes:
+    b = schema.encode("utf-8")
+    return struct.pack("<ddIIIH", t0, t1, level, comp_id, max_records, len(b)) + b
+
+
+def unpack_query_req(payload: bytes) -> tuple[str, float, float, int, int, int]:
+    t0, t1, level, comp_id, max_records, n = struct.unpack_from("<ddIIIH", payload, 0)
+    schema = payload[30 : 30 + n].decode("utf-8")
+    return schema, t0, t1, level, comp_id, max_records
+
+
+def pack_query_reply(status: int, names: tuple[str, ...] = (),
+                     rows: list | tuple = (), flags: int = 0) -> bytes:
+    out = [struct.pack("<iBI", status, flags, len(names))]
+    for name in names:
+        b = name.encode("utf-8")
+        out.append(struct.pack("<H", len(b)))
+        out.append(b)
+    out.append(struct.pack("<I", len(rows)))
+    for ts, comp_id, values in rows:
+        out.append(struct.pack("<dI", ts, comp_id))
+        out.append(struct.pack(f"<{len(names)}d", *values))
+    return b"".join(out)
+
+
+def unpack_query_reply(payload: bytes) -> tuple[int, int, tuple[str, ...], list]:
+    status, flags, ncols = struct.unpack_from("<iBI", payload, 0)
+    pos = 9
+    names = []
+    for _ in range(ncols):
+        (n,) = struct.unpack_from("<H", payload, pos)
+        pos += 2
+        names.append(payload[pos : pos + n].decode("utf-8"))
+        pos += n
+    (nrows,) = struct.unpack_from("<I", payload, pos)
+    pos += 4
+    rows = []
+    for _ in range(nrows):
+        ts, comp_id = struct.unpack_from("<dI", payload, pos)
+        pos += 12
+        values = struct.unpack_from(f"<{ncols}d", payload, pos)
+        pos += 8 * ncols
+        rows.append((ts, comp_id, values))
+    return status, flags, tuple(names), rows
 
 
 # ---------------------------------------------------------------------------

@@ -33,6 +33,7 @@ _HISTOGRAMS = (
     ("update", "update.rtt"),
     ("store_flush", "store.flush"),
     ("sample_to_store", "pipeline.sample_to_store"),
+    ("query", "serve.query"),
 )
 _QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
 
@@ -86,6 +87,14 @@ _COUNTER_NAMES = (
     "max_staleness_ms",
     "flight_events",
     "spans_recorded",
+    # Serving tier (PR 9): query requests served, hot/LRU cache
+    # outcomes, rows returned, and SOS records rejected for spanning
+    # multiple component ids (the store's one-u32-slot contract).
+    "query_requests",
+    "query_cache_hits",
+    "query_cache_misses",
+    "query_rows_served",
+    "store_multi_component_rejected",
 )
 
 
@@ -166,6 +175,11 @@ def collect(daemon: "Ldmsd") -> list[int]:
         int(fleet["max_staleness"] * 1000.0),
         daemon.flight.total,
         daemon.spans.total,
+        daemon.obs.counter("query.requests").value,
+        daemon.obs.counter("query.cache_hits").value,
+        daemon.obs.counter("query.cache_misses").value,
+        daemon.obs.counter("query.rows_served").value,
+        sum(getattr(s, "multi_component_rejected", 0) for s in daemon.stores),
     ))
     for _, hname in _HISTOGRAMS:
         h = daemon.obs.histogram(hname)
@@ -220,6 +234,11 @@ def render(values: dict[str, int | float], indent: str = "    ") -> str:
         f"max_stale={v['max_staleness_ms']}ms",
         f"flight   : events={v['flight_events']} "
         f"spans={v['spans_recorded']}",
+        f"query    : requests={v['query_requests']} "
+        f"hits={v['query_cache_hits']} misses={v['query_cache_misses']} "
+        f"rows={v['query_rows_served']} "
+        f"comp_rejected={v['store_multi_component_rejected']}, "
+        f"served {lat('query')}",
         f"end2end  : sample->store {lat('sample_to_store')}",
         f"faults   : injected={v['faults_injected']} "
         f"promotions={v['watchdog_promotions']}",

@@ -1,0 +1,12 @@
+"""Query/serving tier over the SOS store (ROADMAP item 2).
+
+``engine`` answers time-range queries from a live :class:`SosStore`
+(hot-window cache for the dashboard-recency traffic, LRU result cache,
+pre-computed rollup levels for the scans); ``clients`` models the CMS
+workload mix — dashboard pollers, alert evaluators, ad-hoc range
+scanners — as a DES client population speaking the wire QUERY API.
+"""
+
+from repro.query.engine import QueryEngine, QueryResult
+
+__all__ = ["QueryEngine", "QueryResult"]

@@ -1,0 +1,188 @@
+"""The aggregator-side query engine: SOS range scans, cached.
+
+Serving structure (the CMS monitoring workload, PAPERS.md):
+
+* **Hot window** — dashboard pollers overwhelmingly ask for the last
+  few seconds of data.  Every record the attached
+  :class:`~repro.plugins.stores.sos.SosStore` appends (base and
+  rollup) is also pushed into a bounded per-container deque; a query
+  whose window lies entirely inside the covered span is answered from
+  memory without touching the container files.
+* **LRU result cache** — repeated identical queries (alert evaluators
+  re-checking a rollup window, several dashboards showing one panel)
+  return the cached row set.  Validity is by append-version: the store
+  counts appends per container, and a cached entry is good only while
+  its container's count is unchanged, so a cache hit can never serve a
+  stale row set.
+* **Rollup redirection** — ``level=N`` queries read the
+  ``<schema>.rN`` rollup container maintained on ingest, touching
+  ``1/N`` of the base data.
+
+The engine is DES-pure: time comes from the injected ``clock``
+callable (``env.now``), there is no ambient randomness, and every
+data structure iterates in a deterministic order — required for the
+same-seed byte-identical replay the experiments assert.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core import wire
+from repro.plugins.stores.sos import SosReader, SosStore, rollup_schema
+
+__all__ = ["QueryEngine", "QueryResult"]
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One answered query: wire status, column names, and rows of
+    ``(timestamp, comp_id, values)`` in ``(timestamp, append)`` order."""
+
+    status: int
+    names: tuple[str, ...]
+    rows: tuple = field(default=())
+    cache_hit: bool = False
+    truncated: bool = False
+    #: Which path answered: "hot", "lru", "scan", or "noent".
+    source: str = "scan"
+
+    def flags(self) -> int:
+        f = 0
+        if self.truncated:
+            f |= wire.QUERY_TRUNCATED
+        if self.cache_hit:
+            f |= wire.QUERY_CACHE_HIT
+        return f
+
+
+class QueryEngine:
+    """Range-query service over one live :class:`SosStore`."""
+
+    def __init__(self, store: SosStore, clock: Callable[[], float],
+                 obs=None, hot_window: float = 60.0,
+                 cache_entries: int = 128):
+        if obs is None:
+            from repro.obs.registry import Telemetry
+
+            obs = Telemetry(enabled=False)
+        self.store = store
+        self.clock = clock
+        self.hot_window = float(hot_window)
+        self.cache_entries = int(cache_entries)
+        #: container -> deque[(ts, comp_id, values)] of recent appends.
+        self._hot: dict[str, deque] = {}
+        #: container -> oldest timestamp the hot deque still fully
+        #: covers.  -inf once we have seen every row the container ever
+        #: held (it was empty when the store opened it); +inf while a
+        #: pre-existing container may hold rows we never saw ingested.
+        self._floor: dict[str, float] = {}
+        #: query key -> (container append-version, QueryResult).
+        self._lru: "OrderedDict[tuple, tuple[int, QueryResult]]" = OrderedDict()
+        self._readers: dict[str, SosReader] = {}
+        self._c_requests = obs.counter("query.requests")
+        self._c_hits = obs.counter("query.cache_hits")
+        self._c_misses = obs.counter("query.cache_misses")
+        self._c_rows = obs.counter("query.rows_served")
+        store.set_observer(self._ingest)
+
+    # -- ingest side --------------------------------------------------------
+    def _ingest(self, container: str, ts: float, comp_id: int,
+                values: tuple) -> None:
+        dq = self._hot.get(container)
+        if dq is None:
+            dq = self._hot[container] = deque()
+            self._floor[container] = (
+                _INF if container in self.store.preexisting else -_INF)
+        dq.append((ts, comp_id, values))
+        cutoff = ts - self.hot_window
+        if dq[0][0] < cutoff:
+            while dq and dq[0][0] < cutoff:
+                dq.popleft()
+            # Everything at or above the cutoff arrived after attach
+            # (nothing older ever sat in the deque), so from here the
+            # hot window is authoritative for [cutoff, now].
+            self._floor[container] = cutoff
+
+    # -- query side ---------------------------------------------------------
+    def query(self, schema: str, t0: float, t1: float, level: int = 0,
+              comp_id: int = 0, max_records: int = 0) -> QueryResult:
+        self._c_requests.inc()
+        container = rollup_schema(schema, level) if level else schema
+        version = self.store.rows_written.get(container, 0)
+        key = (container, t0, t1, comp_id, max_records)
+        cached = self._lru.get(key)
+        if cached is not None and cached[0] == version:
+            self._lru.move_to_end(key)
+            self._c_hits.inc()
+            res = cached[1]
+            self._c_rows.inc(len(res.rows))
+            if res.source != "lru":
+                res = QueryResult(res.status, res.names, res.rows,
+                                  cache_hit=True, truncated=res.truncated,
+                                  source="lru")
+                self._lru[key] = (version, res)
+            return res
+
+        dq = self._hot.get(container)
+        if dq is not None and t0 >= self._floor.get(container, _INF):
+            rows = [r for r in dq
+                    if t0 <= r[0] < t1 and (not comp_id or r[1] == comp_id)]
+            rows.sort(key=lambda r: r[0])  # stable: append order ties
+            truncated = bool(max_records) and len(rows) > max_records
+            if truncated:
+                rows = rows[:max_records]
+            names = self.store._names.get(container, ())
+            self._c_hits.inc()
+            self._c_rows.inc(len(rows))
+            return QueryResult(wire.E_OK, tuple(names), tuple(rows),
+                               cache_hit=True, truncated=truncated,
+                               source="hot")
+
+        self._c_misses.inc()
+        res = self._scan(container, t0, t1, comp_id, max_records)
+        self._c_rows.inc(len(res.rows))
+        if res.status == wire.E_OK:
+            self._lru[key] = (version, res)
+            while len(self._lru) > self.cache_entries:
+                self._lru.popitem(last=False)
+        return res
+
+    def _scan(self, container: str, t0: float, t1: float, comp_id: int,
+              max_records: int) -> QueryResult:
+        self.store.flush()
+        reader = self._readers.get(container)
+        if reader is None:
+            try:
+                reader = SosReader(self.store.path, container)
+            except OSError:
+                return QueryResult(wire.E_NOENT, (), source="noent")
+            self._readers[container] = reader
+        else:
+            reader.refresh()
+        rows = []
+        truncated = False
+        for rec in reader.range(t0, t1):
+            if comp_id and rec.component_id != comp_id:
+                continue
+            if max_records and len(rows) >= max_records:
+                truncated = True
+                break
+            rows.append((rec.timestamp, rec.component_id, rec.values))
+        return QueryResult(wire.E_OK, tuple(reader.metric_names),
+                           tuple(rows), truncated=truncated, source="scan")
+
+    # -- introspection ------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "requests": self._c_requests.value,
+            "cache_hits": self._c_hits.value,
+            "cache_misses": self._c_misses.value,
+            "rows_served": self._c_rows.value,
+            "lru_entries": len(self._lru),
+            "hot_containers": len(self._hot),
+        }

@@ -136,7 +136,9 @@ def _noop_inc(n: int = 1) -> None:
 #: Features this build's endpoints advertise during connection setup.
 #: "trace-ctx": the peer may set :data:`repro.core.wire.TRACE_FLAG` and
 #: attach trace-context blobs to frames it sends us.
-BASE_FEATURES = frozenset({"trace-ctx"})
+#: "query": the peer may send ``MsgType.QUERY_REQ`` frames (serving
+#: tier, PR 9) — old builds would reject the unknown message type.
+BASE_FEATURES = frozenset({"trace-ctx", "query"})
 
 
 class Endpoint:
@@ -169,6 +171,7 @@ class Endpoint:
         self.features: frozenset[str] = BASE_FEATURES
         self.peer_features: frozenset[str] = frozenset()
         self.trace_ok = False
+        self.query_ok = False
         #: Serve-side hook invoked once per trace-context entry on an
         #: inbound traced read: ``fn(trace_id, parent_span, hop,
         #: region_id)``.  Installed by the serving daemon.
@@ -213,6 +216,7 @@ class Endpoint:
         """Record the peer's advertised feature set."""
         self.peer_features = peer_features
         self.trace_ok = "trace-ctx" in peer_features
+        self.query_ok = "query" in peer_features
 
     def peer_age(self, ts: float) -> Optional[float]:
         """Age of a peer-clock timestamp ``ts`` in seconds, or ``None``.

@@ -205,6 +205,16 @@ class TestControlVerbs:
         assert d.stores[0].plugin_name == "store_csv"
         assert d.stores[0].policy.schema == "meminfo"
 
+    def test_enable_query(self, channel, tmp_path):
+        _, d, ch = channel
+        assert ch.handle("enable_query").startswith("E")  # no sos store yet
+        ch.handle(f"store name=sos path={tmp_path} rollups=10")
+        reply = ch.handle("enable_query hot_window=15 cache_entries=32")
+        assert reply.startswith("0")
+        assert d.query_engine is not None
+        assert d.query_engine.hot_window == 15.0
+        assert d.query_engine.cache_entries == 32
+
 
 class TestUnixControlServer:
     def test_round_trip_over_socket(self, channel, tmp_path):

@@ -10,7 +10,7 @@ from repro.core.store import StorePolicy, StoreRecord
 from repro.plugins.stores.csv_store import CsvStore
 from repro.plugins.stores.flatfile import FlatFileStore
 from repro.plugins.stores.memstore import MemoryStore
-from repro.plugins.stores.sos import SosReader, SosStore
+from repro.plugins.stores.sos import SosReader, SosStore, rollup_schema
 from repro.util.errors import ConfigError, StoreError
 
 
@@ -214,6 +214,152 @@ class TestSosStore:
         s.config(path=str(tmp_path))
         s.submit(rec())
         assert s.bytes_written() > 0
+        s.close()
+
+    def test_out_of_order_appends_range(self, tmp_path):
+        # Regression: arrival timestamps are not monotone across
+        # producers, so the append-ordered .sidx is not binary
+        # searchable.  The old reader bisected it raw and returned
+        # wrong (silently incomplete) ranges; the index must be sorted
+        # at load.
+        s = SosStore()
+        s.config(path=str(tmp_path))
+        for t in (5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0):
+            s.submit(rec(t=t, values=(t, 2 * t)))
+        s.close()
+        reader = SosReader(str(tmp_path), "mem")
+        assert [r.timestamp for r in reader.range(2.0, 8.0)] == [
+            2.0, 3.0, 5.0, 7.0]
+        # iteration order agrees with the sorted index
+        assert [r.timestamp for r in reader] == sorted(
+            (5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0))
+        # values travel with their (re-ordered) timestamps
+        assert reader.range(3.0, 4.0)[0].values == (3.0, 6.0)
+
+    def test_equal_timestamps_keep_append_order(self, tmp_path):
+        s = SosStore()
+        s.config(path=str(tmp_path))
+        s.submit(rec(t=1.0, values=(10, 0)))
+        s.submit(rec(t=1.0, values=(20, 0)))
+        s.submit(rec(t=0.5, values=(5, 0)))
+        s.close()
+        reader = SosReader(str(tmp_path), "mem")
+        # sort is stable on (timestamp, offset): ties stay in append order
+        assert [r.values[0] for r in reader.range(1.0, 2.0)] == [10.0, 20.0]
+
+    def test_refresh_folds_in_new_appends(self, tmp_path):
+        s = SosStore()
+        s.config(path=str(tmp_path))
+        s.submit(rec(t=1.0))
+        s.flush()
+        reader = SosReader(str(tmp_path), "mem")
+        assert len(reader) == 1
+        # an append-ordered tail that is *older* than what the reader
+        # already holds must still land in sorted position
+        s.submit(rec(t=3.0))
+        s.submit(rec(t=0.5))
+        s.flush()
+        assert reader.refresh() == 2
+        assert [r.timestamp for r in reader] == [0.5, 1.0, 3.0]
+        assert reader.refresh() == 0  # idempotent: tail already consumed
+        s.close()
+
+    def test_multi_component_record_rejected(self, tmp_path):
+        # Regression: a record spanning several component ids used to
+        # store component_ids[0] and silently drop the rest.  The SOS
+        # record format has one u32 slot — reject loudly and count it.
+        s = SosStore()
+        s.config(path=str(tmp_path))
+        with pytest.raises(StoreError):
+            s.submit(rec(comp=(1, 2)))
+        assert s.multi_component_rejected == 1
+        assert s.records_failed == 1
+        # uniform component ids (the common projected-row shape) store fine
+        s.submit(rec(t=2.0, comp=(7, 7)))
+        s.close()
+        records = list(SosReader(str(tmp_path), "mem"))
+        assert [r.component_id for r in records] == [7]
+
+    def test_reopen_layout_mismatch_rejected(self, tmp_path):
+        # Regression: reopening a container after restart appended
+        # whatever shape arrived, corrupting the fixed-width stream.
+        # The .schema.json sidecar is the layout contract.
+        s = SosStore()
+        s.config(path=str(tmp_path))
+        s.submit(rec(t=1.0))
+        s.close()
+        s2 = SosStore()
+        s2.config(path=str(tmp_path))
+        with pytest.raises(StoreError, match="layout mismatch"):
+            s2.submit(rec(t=2.0, names=("x", "y")))
+        s2.close()
+        # the container is untouched by the rejected append
+        assert len(SosReader(str(tmp_path), "mem")) == 1
+
+    def test_reopen_matching_layout_appends(self, tmp_path):
+        s = SosStore()
+        s.config(path=str(tmp_path))
+        s.submit(rec(t=1.0))
+        s.close()
+        s2 = SosStore()
+        s2.config(path=str(tmp_path))
+        s2.submit(rec(t=2.0))
+        # reopened containers are flagged: the query tier's hot window
+        # must not claim to cover rows it never saw ingested
+        assert "mem" in s2.preexisting
+        s2.close()
+        assert [r.timestamp for r in SosReader(str(tmp_path), "mem")] == [
+            1.0, 2.0]
+
+
+class TestSosRollups:
+    def test_mean_buckets_per_component(self, tmp_path):
+        s = SosStore()
+        s.config(path=str(tmp_path), rollups="10")
+        for k in range(25):  # a = k, b = 2k; buckets [0,10) [10,20) [20,30)
+            s.submit(rec(t=float(k), values=(k, 2 * k)))
+        s.close()  # seals the open [20,30) bucket
+        reader = SosReader(str(tmp_path), rollup_schema("mem", 10))
+        assert reader.metric_names == ["a", "b"]
+        rolled = list(reader)
+        assert [r.timestamp for r in rolled] == [0.0, 10.0, 20.0]
+        assert rolled[0].values == (4.5, 9.0)    # mean of 0..9
+        assert rolled[1].values == (14.5, 29.0)  # mean of 10..19
+        assert rolled[2].values == (22.0, 44.0)  # mean of 20..24
+
+    def test_rollup_sidecar_names_base_and_level(self, tmp_path):
+        import json
+
+        s = SosStore()
+        s.config(path=str(tmp_path), rollups="10")
+        for k in range(12):
+            s.submit(rec(t=float(k)))
+        s.close()
+        with open(tmp_path / "mem.r10.schema.json", encoding="utf-8") as f:
+            meta = json.load(f)
+        assert meta["base"] == "mem"
+        assert meta["level"] == 10
+        assert meta["agg"] == "mean"
+
+    def test_components_bucketed_separately(self, tmp_path):
+        s = SosStore()
+        s.config(path=str(tmp_path), rollups="10")
+        for k in range(10):
+            s.submit(rec(t=float(k), comp=(1, 1), values=(1, 1)))
+            s.submit(rec(t=float(k), comp=(2, 2), values=(3, 3)))
+        s.close()
+        rolled = list(SosReader(str(tmp_path), rollup_schema("mem", 10)))
+        by_comp = {r.component_id: r.values[0] for r in rolled}
+        assert by_comp == {1: 1.0, 2: 3.0}
+
+    def test_bad_rollup_spec_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            SosStore().config(path=str(tmp_path), rollups="10,-5")
+
+    def test_rollup_levels_parsed_sorted_deduped(self, tmp_path):
+        s = SosStore()
+        s.config(path=str(tmp_path), rollups="60, 10,60")
+        assert s.rollups == (10, 60)
         s.close()
 
 
