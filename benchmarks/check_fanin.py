@@ -1,23 +1,33 @@
 #!/usr/bin/env python
 """CI smoke: the fan-in fast paths stay fast, at full scale.
 
-Two checks, both machine-independent:
+Three checks, all machine-independent:
 
 1. **Relative regression bound.**  The at-capacity sock sweep point
    (9,216 samplers) is timed with the toggleable fast paths enabled
-   (timer wheel + coalesced batch flush + GC pause + columnar arena)
-   and disabled (``REPRO_TIMER_WHEEL=0`` / ``REPRO_BATCH_FLUSH=0`` /
-   ``REPRO_GC_PAUSE=0`` / ``REPRO_ARENA=0``), in strict alternation
-   so both variants see the same interference.  The speedup must stay
-   above ``MIN_SPEEDUP``; external noise can only shrink the measured
-   ratio, never inflate it, so a pass is trustworthy on shared
-   runners.  The fast-path gains are superlinear in fan-in (the GC
-   pause and the wheel matter most when millions of events are live),
-   so the bound is checked at full scale where the signal is
-   strongest — measured ~1.6x on a quiet machine before the arena
-   landed, floor 1.3x.  The unconditional micro-optimisations (block
-   descriptor unpack, meta memcpy mirroring, inline pool grants) have
-   no off switch and are deliberately present in *both* variants.
+   (timer wheel + coalesced batch flush + GC pause + columnar arena +
+   sharded runner) and disabled (``REPRO_TIMER_WHEEL=0`` /
+   ``REPRO_BATCH_FLUSH=0`` / ``REPRO_GC_PAUSE=0`` / ``REPRO_ARENA=0`` /
+   ``REPRO_SHARDS=0``), in strict alternation so both variants see the
+   same interference.  The speedup must stay above ``MIN_SPEEDUP``;
+   external noise can only shrink the measured ratio, never inflate it,
+   so a pass is trustworthy on shared runners.  The fast-path gains are
+   superlinear in fan-in (the GC pause and the wheel matter most when
+   millions of events are live), so the bound is checked at full scale
+   where the signal is strongest — measured ~1.6x on a quiet machine
+   before the arena landed, floor 1.3x.  The unconditional
+   micro-optimisations (block descriptor unpack, meta memcpy mirroring,
+   inline pool grants) have no off switch and are deliberately present
+   in *both* variants.
+
+   ``REPRO_SHARDS`` is a worker count, not a boolean: the fast variant
+   sets ``2`` (the point runs inside a forked shard worker, so the
+   fork + result-pickle overhead is charged to the fast side) and the
+   slow variant ``0`` (inline).  Both variants also hash every stored
+   row (sha256 over (timestamp, producer, set_name, values)); the
+   digests must be *identical* across all toggles — the byte-identity
+   contract of the arena and of the sharded runner, enforced in CI on
+   every run.
 
    Event counts are *logical* events: heap-processed events plus the
    per-member events the sampler cohorts materialize inside vectorized
@@ -27,14 +37,24 @@ Two checks, both machine-independent:
    across variants and across releases.
 
 2. **Full-scale knee.**  The complete full-scale sock sweep (up to
-   10,229 samplers) runs once with the fast paths on; the knee must
-   land exactly at the profile's 9,216-connection capacity, and the
-   aggregator's live freshness tracker must report the ground-truth
+   10,229 samplers) runs once, inline, with the fast paths on; the knee
+   must land exactly at the profile's 9,216-connection capacity, and
+   the aggregator's live freshness tracker must report the ground-truth
    delivered/expected completeness *exactly* at the knee and at the
-   over-capacity point (~0.901) — the tracker counts the same stored
-   updates against the same elapsed-time expectation.  Wall times,
-   event counts, and completeness per point are written to
-   ``BENCH_fanin.json`` for the CI artifact.
+   over-capacity point (~0.901).  Each point also records its
+   build/ramp-up/steady wall split — the headline events/s drop toward
+   the knee is a one-off-cost artifact, see ``phase_note`` in the
+   artifact — and its row digest, which check 3 replays against.
+
+3. **Sharded full-scale sweep.**  The same sweep runs again with the
+   points fanned out across ``SHARD_WORKERS`` forked shard workers
+   (``repro.sim.shard.run_parallel``).  Per-point digests must match
+   check 2 byte-for-byte, the sharded knee must still equal the profile
+   capacity, and the freshness tracker must stay exact.  Aggregate and
+   per-worker rates land in the ``sharded`` block of
+   ``BENCH_fanin.json`` together with ``host_cpus`` — on a single-core
+   runner the workers serialize and the aggregate honestly reports
+   that, see the block's ``note``.
 
     PYTHONPATH=src python benchmarks/check_fanin.py
 """
@@ -55,6 +75,10 @@ INTERVAL = 5.0
 METRICS = 10
 DURATION = 30.0
 
+#: Fan-out of the sharded sweep (check 3).  Workers are forked
+#: processes; on a host with fewer cores they serialize harmlessly.
+SHARD_WORKERS = 4
+
 _FAST_VARS = ("REPRO_TIMER_WHEEL", "REPRO_BATCH_FLUSH", "REPRO_GC_PAUSE",
               "REPRO_ARENA")
 
@@ -73,12 +97,15 @@ _PRE_FASTPATH_BASELINE = {
 def _set_fastpath(enabled: bool) -> None:
     for var in _FAST_VARS:
         os.environ[var] = "1" if enabled else "0"
+    # Not a boolean: worker count.  Fast = point inside a forked shard
+    # worker (fork overhead charged to the fast side), slow = inline.
+    os.environ["REPRO_SHARDS"] = "2" if enabled else "0"
 
 
-def _run_point(n: int, scale: int,
-               pause_build: bool = False) -> tuple[float, int, int, float, float]:
-    """Build+run one sweep point:
-    (wall s, events, vectorized, completeness, tracker completeness).
+def _measure(n: int, scale: int, pause_build: bool = False) -> dict:
+    """Build+run one sweep point in *this* process; returns a dict with
+    the wall split (build / ramp-up / steady), logical event counts,
+    completeness, and the row digest.
 
     ``events`` is the logical event count — heap-processed plus
     cohort-vectorized member events — so it is invariant across the
@@ -87,7 +114,7 @@ def _run_point(n: int, scale: int,
     shipped sweep path); the relative A/B leaves it off so
     ``REPRO_GC_PAUSE`` is the only GC difference.
     """
-    from repro.experiments.fanin import _build
+    from repro.experiments.fanin import _build, _rows_digest
 
     gc.collect()
     if pause_build:
@@ -96,8 +123,12 @@ def _run_point(n: int, scale: int,
         t0 = time.perf_counter()
         eng, env, agg, agg_x, store = _build(n, "sock", INTERVAL, METRICS,
                                              DURATION, scale=scale)
+        t1 = time.perf_counter()
+        eng.run(until=min(INTERVAL, DURATION))
+        ramp_events = eng.events_processed + eng.vectorized_events
+        t2 = time.perf_counter()
         eng.run(until=DURATION)
-        wall = time.perf_counter() - t0
+        t3 = time.perf_counter()
     finally:
         if pause_build:
             gc.enable()
@@ -105,29 +136,78 @@ def _run_point(n: int, scale: int,
     completeness = min(len(store.rows) / expected, 1.0)
     tracker = agg.freshness.fleet(env.now())["completeness"]
     events = eng.events_processed + eng.vectorized_events
-    return wall, events, eng.vectorized_events, completeness, tracker
+    steady_s = t3 - t2
+    return {
+        "wall": t3 - t0,
+        "build_s": t1 - t0,
+        "rampup_s": t2 - t1,
+        "steady_s": steady_s,
+        "events": events,
+        "steady_events": events - ramp_events,
+        "steady_events_per_s": int((events - ramp_events) / steady_s)
+        if steady_s > 0 else 0,
+        "vectorized": eng.vectorized_events,
+        "completeness": completeness,
+        "tracker": tracker,
+        "digest": _rows_digest(store),
+    }
 
 
-def check_relative() -> float:
+def _run_point(n: int, scale: int, pause_build: bool = False) -> dict:
+    """One sweep point, honouring ``REPRO_SHARDS``: inline when off,
+    inside a forked shard worker when >= 2 (the wall then includes the
+    fork and result pickling — the full cost of the sharded path)."""
+    from repro.sim.shard import run_parallel, shards_default
+
+    if shards_default() < 2:
+        return _measure(n, scale, pause_build)
+    t0 = time.perf_counter()
+    (res,) = run_parallel(lambda m: _measure(m, scale, pause_build), [n], 1)
+    res["wall"] = time.perf_counter() - t0
+    return res
+
+
+def check_relative() -> tuple[float, bool]:
     from repro.transport.base import get_transport_profile
 
     n = get_transport_profile("sock").max_connections
     best = 0.0
+    identical = True
     for trial in range(TRIALS):
         _set_fastpath(True)
-        fast_wall, fast_events, _, _, _ = _run_point(n, 1)
+        fast = _run_point(n, 1)
         _set_fastpath(False)
-        slow_wall, slow_events, _, _, _ = _run_point(n, 1)
+        slow = _run_point(n, 1)
         _set_fastpath(True)
-        speedup = slow_wall / fast_wall
+        speedup = slow["wall"] / fast["wall"]
+        match = fast["digest"] == slow["digest"]
+        identical = identical and match
         print(f"trial {trial}: "
-              f"fast {fast_wall:6.2f}s ({int(fast_events / fast_wall)} ev/s)  "
-              f"slow {slow_wall:6.2f}s ({int(slow_events / slow_wall)} ev/s)  "
-              f"speedup {speedup:.2f}x")
+              f"fast {fast['wall']:6.2f}s "
+              f"({int(fast['events'] / fast['wall'])} ev/s)  "
+              f"slow {slow['wall']:6.2f}s "
+              f"({int(slow['events'] / slow['wall'])} ev/s)  "
+              f"speedup {speedup:.2f}x  "
+              f"rows {'identical' if match else 'DIVERGED'}")
         best = max(best, speedup)
-        if best >= MIN_SPEEDUP:
+        if best >= MIN_SPEEDUP and identical:
             break  # already demonstrably fast enough
-    return best
+    return best, identical
+
+
+def _point_row(n: int, res: dict) -> dict:
+    return {"n_samplers": n, "wall_s": round(res["wall"], 3),
+            "build_s": round(res["build_s"], 3),
+            "rampup_s": round(res["rampup_s"], 3),
+            "steady_s": round(res["steady_s"], 3),
+            "events": res["events"],
+            "vectorized_events": res["vectorized"],
+            "events_per_s": int(res["events"] / res["wall"]),
+            "steady_events_per_s": res["steady_events_per_s"],
+            "completeness": round(res["completeness"], 4),
+            "tracker_completeness": round(res["tracker"], 4),
+            "tracker_exact": res["tracker"] == res["completeness"],
+            "rows_sha256": res["digest"]}
 
 
 def check_full_scale() -> dict:
@@ -135,26 +215,24 @@ def check_full_scale() -> dict:
     from repro.transport.base import get_transport_profile
 
     _set_fastpath(True)
+    os.environ["REPRO_SHARDS"] = "0"  # inline: the sharded A/B reference
     sizes = default_sizes("sock")
     cap = get_transport_profile("sock").max_connections
     per_point = []
     total_wall = 0.0
     total_events = 0
     for n in sizes:
-        wall, events, vectorized, completeness, tracker = _run_point(
-            n, scale=1, pause_build=True)
-        per_point.append({"n_samplers": n, "wall_s": round(wall, 3),
-                          "events": events,
-                          "vectorized_events": vectorized,
-                          "events_per_s": int(events / wall),
-                          "completeness": round(completeness, 4),
-                          "tracker_completeness": round(tracker, 4),
-                          "tracker_exact": tracker == completeness})
-        total_wall += wall
-        total_events += events
-        print(f"  n={n:6d}  wall {wall:6.2f}s  events {events:8d}  "
-              f"({int(events / wall):7d} ev/s, {vectorized} vectorized)  "
-              f"completeness {completeness:.4f}  tracker {tracker:.4f}")
+        res = _run_point(n, scale=1, pause_build=True)
+        per_point.append(_point_row(n, res))
+        total_wall += res["wall"]
+        total_events += res["events"]
+        print(f"  n={n:6d}  wall {res['wall']:6.2f}s "
+              f"(build {res['build_s']:.2f} ramp {res['rampup_s']:.2f} "
+              f"steady {res['steady_s']:.2f})  events {res['events']:8d}  "
+              f"({int(res['events'] / res['wall']):7d} ev/s, "
+              f"{res['steady_events_per_s']} steady)  "
+              f"completeness {res['completeness']:.4f}  "
+              f"tracker {res['tracker']:.4f}")
     knee = max(p["n_samplers"] for p in per_point
                if p["completeness"] >= 0.99)
     return {
@@ -170,6 +248,14 @@ def check_full_scale() -> dict:
         "total_events": total_events,
         "events_note": ("events = heap-processed + cohort-vectorized "
                         "member events (invariant across REPRO_ARENA)"),
+        "phase_note": ("headline events_per_s divides by the whole "
+                       "point wall; build (topology + daemon "
+                       "construction) and ramp-up (the n-producer "
+                       "connect storm and first-sample set creation) "
+                       "are one-off costs that grow with n but "
+                       "amortize over only 30 simulated seconds, which "
+                       "is why the rate falls toward the 9,216 knee "
+                       "while steady_events_per_s stays flat"),
         "events_per_s": int(total_events / total_wall),
         "pre_fastpath_baseline": _PRE_FASTPATH_BASELINE,
         "speedup_vs_baseline": round(
@@ -177,21 +263,90 @@ def check_full_scale() -> dict:
     }
 
 
+def check_sharded(inline: dict) -> dict:
+    """Check 3: the full sweep fanned out across forked shard workers.
+
+    Byte-identity is the gate: every point's row digest must equal the
+    inline sweep's digest for the same point.  Rates are reported
+    honestly — ``aggregate_events_per_s`` divides total events by the
+    parent's wall clock, so on a host with fewer cores than workers it
+    reflects the serialized schedule, not an idealized speedup.
+    """
+    from repro.experiments.fanin import default_sizes
+    from repro.sim.shard import run_parallel
+
+    _set_fastpath(True)
+    os.environ["REPRO_SHARDS"] = "0"  # workers run their points inline
+    sizes = default_sizes("sock")
+    nworkers = max(1, min(SHARD_WORKERS, len(sizes)))
+    t0 = time.perf_counter()
+    results = run_parallel(lambda n: _measure(n, 1, pause_build=True),
+                           sizes, nworkers)
+    wall = time.perf_counter() - t0
+    per_point = [_point_row(n, res) for n, res in zip(sizes, results)]
+    inline_digests = {p["n_samplers"]: p["rows_sha256"]
+                      for p in inline["points"]}
+    digests_match = all(p["rows_sha256"] == inline_digests[p["n_samplers"]]
+                        for p in per_point)
+    total_events = sum(p["events"] for p in per_point)
+    per_worker = []
+    for w in range(nworkers):
+        mine = per_point[w::nworkers]
+        wwall = sum(p["wall_s"] for p in mine)
+        wevents = sum(p["events"] for p in mine)
+        per_worker.append({
+            "worker": w,
+            "points": [p["n_samplers"] for p in mine],
+            "wall_s": round(wwall, 3),
+            "events": wevents,
+            "events_per_s": int(wevents / wwall) if wwall > 0 else 0,
+        })
+        print(f"  worker {w}: points {per_worker[-1]['points']}  "
+              f"wall {wwall:6.2f}s  {per_worker[-1]['events_per_s']} ev/s")
+    knee = max(p["n_samplers"] for p in per_point
+               if p["completeness"] >= 0.99)
+    host_cpus = os.cpu_count() or 1
+    print(f"  sharded sweep: {nworkers} workers on {host_cpus} cpu(s), "
+          f"{wall:.2f}s wall, {int(total_events / wall)} aggregate ev/s, "
+          f"digests {'identical' if digests_match else 'DIVERGED'}")
+    return {
+        "workers": nworkers,
+        "host_cpus": host_cpus,
+        "wall_s": round(wall, 2),
+        "total_events": total_events,
+        "aggregate_events_per_s": int(total_events / wall),
+        "per_worker": per_worker,
+        "points": per_point,
+        "knee": knee,
+        "digests_match_inline": digests_match,
+        "target_events_per_s": 1_000_000,
+        "note": (f"measured on a {host_cpus}-cpu host: with fewer cores "
+                 "than workers the forked workers serialize, so "
+                 "aggregate_events_per_s honestly tracks the inline "
+                 "rate plus fork overhead; the shards share nothing "
+                 "and their outputs are byte-identical to the inline "
+                 "sweep (digests_match_inline), so the aggregate "
+                 "scales with cores — the 1M events/s target needs "
+                 "roughly target/per_worker events_per_s cores"),
+    }
+
+
 def main() -> int:
     print("== relative fast-path check (sock @ full capacity) ==")
-    best = check_relative()
+    best, identical = check_relative()
     print(f"best speedup: {best:.2f}x  (required >= {MIN_SPEEDUP}x)")
     if best < MIN_SPEEDUP:
         print("FAIL: fast paths no longer deliver the required speedup")
         return 1
+    if not identical:
+        print("FAIL: fast/slow variants produced different stored rows — "
+              "the arena/shard byte-identity contract is broken")
+        return 1
 
-    print("\n== full-scale sock sweep ==")
+    print("\n== full-scale sock sweep (inline) ==")
     report = check_full_scale()
-    with open(OUT_PATH, "w") as f:
-        json.dump(report, f, indent=2)
     print(f"knee {report['knee']} (capacity {report['profile_capacity']}), "
           f"{report['total_wall_s']}s, {report['events_per_s']} events/s")
-    print(f"wrote {OUT_PATH}")
     if report["knee"] != report["profile_capacity"]:
         print("FAIL: full-scale knee moved off the profile capacity")
         return 1
@@ -210,6 +365,25 @@ def main() -> int:
                   f"({p['tracker_completeness']} != {p['completeness']})")
             return 1
     print(f"freshness tracker exact at {[p['n_samplers'] for p in checked]}")
+
+    print(f"\n== full-scale sock sweep (sharded, {SHARD_WORKERS} workers) ==")
+    sharded = check_sharded(report)
+    report["sharded"] = sharded
+    with open(OUT_PATH, "w") as f:
+        json.dump(report, f, indent=2)
+    print(f"wrote {OUT_PATH}")
+    if not sharded["digests_match_inline"]:
+        print("FAIL: sharded sweep rows diverged from the inline sweep — "
+              "the shard byte-identity contract is broken")
+        return 1
+    if sharded["knee"] != report["profile_capacity"]:
+        print("FAIL: sharded knee moved off the profile capacity")
+        return 1
+    for p in sharded["points"]:
+        if p["n_samplers"] >= cap and not p["tracker_exact"]:
+            print(f"FAIL: sharded freshness tracker diverged at "
+                  f"n={p['n_samplers']}")
+            return 1
     print("OK")
     return 0
 

@@ -45,6 +45,11 @@ FLOW_RULE_IDS: dict[str, str] = {
         "HELLO feature gates must be advertised and consumed symmetrically "
         "across transports"
     ),
+    "flow-shard-isolation": (
+        "code reachable from a shard worker entry point must not mutate "
+        "module-level state outside the shard-allowed modules (a worker "
+        "scribbling on shared globals diverges from fork-inherited state)"
+    ),
 }
 
 

@@ -49,6 +49,7 @@ import socket
 import threading
 from typing import TYPE_CHECKING
 
+from repro.sim.shard import runtime_snapshot as shard_runtime_snapshot
 from repro.util.errors import ConfigError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -321,6 +322,10 @@ class ControlChannel:
                     "total": d.spans.total,
                     "retained": len(d.spans.spans),
                 },
+                # Schema-stable shard-plane block (zeros when
+                # REPRO_SHARDS is off); process-wide counters from the
+                # conservative-window runner.
+                "shard": shard_runtime_snapshot(),
             }
         )
 

@@ -45,6 +45,7 @@ from repro.obs import (
 from repro.obs import flight as flightmod
 from repro.obs.spans import HOP_SAMPLE, HOP_STORE
 from repro.sim.resources import CpuCore
+from repro.sim.shard import runtime_snapshot as shard_runtime_snapshot
 from repro.transport.base import Endpoint, Listener, Transport
 from repro.util.errors import ConfigError, OutOfMemory, StoreError
 from repro.util.rngtools import stable_seed
@@ -1194,6 +1195,10 @@ class Ldmsd:
                           else {"requests": 0, "cache_hits": 0,
                                 "cache_misses": 0, "rows_served": 0,
                                 "lru_entries": 0, "hot_containers": 0}),
+                # Schema-stable shard-plane counters: process-wide (the
+                # conservative-window runner's accounting), zeros when
+                # REPRO_SHARDS is off.
+                "shard": shard_runtime_snapshot(),
                 "stores": [
                     {
                         "plugin": s.plugin_name,

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import gc
+import hashlib
 from dataclasses import dataclass, replace
 
 from repro.core import Ldmsd, SimEnv
@@ -37,10 +38,12 @@ from repro.experiments.common import PAPER, print_header, print_table
 from repro.sim.engine import Engine
 from repro.transport.base import get_transport_profile
 from repro.transport.simfabric import SimFabric, SimTransport
+from repro.util import timeutil
 
 __all__ = [
     "FaninPoint",
     "default_sizes",
+    "run_point",
     "sweep_transport",
     "max_fanin",
     "aggregator_utilization",
@@ -107,43 +110,93 @@ def _build(n_samplers: int, xprt: str, interval: float, metrics: int,
     return eng, env, agg, agg_x, store
 
 
+def _rows_digest(store) -> str:
+    """SHA-256 over the stored rows — the byte-identity fingerprint the
+    sharded A/B gate compares across ``REPRO_SHARDS`` settings."""
+    h = hashlib.sha256()
+    for r in store.rows:
+        vals = (tuple(r.values.items()) if hasattr(r.values, "items")
+                else tuple(r.values))
+        h.update(repr((r.timestamp, r.producer, r.set_name, vals)).encode())
+    return h.hexdigest()
+
+
+def run_point(n: int, xprt: str, interval: float = 5.0, metrics: int = 10,
+              duration: float = 30.0, scale: int = 1,
+              digest: bool = False) -> tuple[FaninPoint, dict]:
+    """One sweep point, self-contained in this process.
+
+    Returns ``(point, info)`` where ``info`` carries the engine event
+    count, the per-phase wall breakdown (``build_s`` topology
+    construction, ``rampup_s`` first collection interval — connect storm
+    plus set discovery, ``steady_s`` the remaining steady-state
+    intervals) and, when ``digest=True``, the SHA-256 of the stored rows
+    for cross-process byte-identity checks.  Being self-contained is
+    what makes sweep points *disjoint shards*: the sharded sweep runs
+    the very same function on the very same inputs in a worker process.
+    """
+    # Building ≥9,000 daemons allocates enough to trigger dozens of
+    # full generational collections that free nothing; pause the
+    # cyclic collector for the point (refcounting reclaims each
+    # point's topology as soon as it goes out of scope).
+    paused = gc.isenabled()
+    if paused:
+        gc.disable()
+    try:
+        t0 = timeutil.perf_counter()
+        eng, env, agg, agg_x, store = _build(n, xprt, interval, metrics,
+                                             duration, scale=scale)
+        t1 = timeutil.perf_counter()
+        eng.run(until=min(interval, duration))
+        t2 = timeutil.perf_counter()
+        eng.run(until=duration)
+        t3 = timeutil.perf_counter()
+    finally:
+        if paused:
+            gc.enable()
+    expected = n * (duration / interval - 1)  # first interval ramps up
+    connected = sum(1 for p in agg.producers.values() if p.connected)
+    point = FaninPoint(
+        transport=xprt,
+        n_samplers=n,
+        connected=connected,
+        completeness=min(len(store.rows) / expected, 1.0),
+        refused=agg_x.refused_connections,
+        tracker_completeness=agg.freshness.fleet(
+            env.now())["completeness"],
+    )
+    info = {
+        "events": eng.events_processed + eng.vectorized_events,
+        "build_s": t1 - t0,
+        "rampup_s": t2 - t1,
+        "steady_s": t3 - t2,
+    }
+    if digest:
+        info["digest"] = _rows_digest(store)
+    return point, info
+
+
 def sweep_transport(xprt: str, sizes: list[int] | None = None,
                     interval: float = 5.0, metrics: int = 10,
-                    duration: float = 30.0, scale: int = 1) -> list[FaninPoint]:
+                    duration: float = 30.0, scale: int = 1,
+                    nshards: int | None = None) -> list[FaninPoint]:
     """Run the fan-in sweep; ``sizes=None`` derives them from the
-    transport's (possibly scaled) capacity via :func:`default_sizes`."""
+    transport's (possibly scaled) capacity via :func:`default_sizes`.
+
+    ``nshards`` (default: the ``REPRO_SHARDS`` toggle) >= 2 runs the
+    points as disjoint shards across forked workers — each point is a
+    self-contained world, so the per-point results are byte-identical
+    to the inline sweep.
+    """
+    from repro.sim.shard import maybe_parallel
+
     if sizes is None:
         sizes = default_sizes(xprt, scale)
-    points = []
-    for n in sizes:
-        # Building ≥9,000 daemons allocates enough to trigger dozens of
-        # full generational collections that free nothing; pause the
-        # cyclic collector for the point (refcounting reclaims each
-        # point's topology as soon as it goes out of scope).
-        paused = gc.isenabled()
-        if paused:
-            gc.disable()
-        try:
-            eng, env, agg, agg_x, store = _build(n, xprt, interval, metrics,
-                                                 duration, scale=scale)
-            eng.run(until=duration)
-        finally:
-            if paused:
-                gc.enable()
-        expected = n * (duration / interval - 1)  # first interval ramps up
-        connected = sum(1 for p in agg.producers.values() if p.connected)
-        points.append(
-            FaninPoint(
-                transport=xprt,
-                n_samplers=n,
-                connected=connected,
-                completeness=min(len(store.rows) / expected, 1.0),
-                refused=agg_x.refused_connections,
-                tracker_completeness=agg.freshness.fleet(
-                    env.now())["completeness"],
-            )
-        )
-    return points
+
+    def job(n: int) -> FaninPoint:
+        return run_point(n, xprt, interval, metrics, duration, scale)[0]
+
+    return maybe_parallel(job, sizes, nshards)
 
 
 def max_fanin(points: list[FaninPoint], floor: float = 0.99) -> int:
@@ -182,7 +235,7 @@ def aggregator_utilization(n_samplers: int = 64, interval: float = 20.0,
 
 def main(scale: int = 1, xprts: tuple[str, ...] = ("sock", "rdma", "ugni"),
          interval: float = 5.0, metrics: int = 10,
-         duration: float = 30.0) -> dict:
+         duration: float = 30.0, nshards: int | None = None) -> dict:
     if scale > 1:
         print_header("Fan-in by transport (paper §IV-A; capacities scaled 1/%d)"
                      % scale)
@@ -192,7 +245,8 @@ def main(scale: int = 1, xprts: tuple[str, ...] = ("sock", "rdma", "ugni"),
     rows = []
     for xprt in xprts:
         points = sweep_transport(xprt, interval=interval, metrics=metrics,
-                                 duration=duration, scale=scale)
+                                 duration=duration, scale=scale,
+                                 nshards=nshards)
         results[xprt] = points
         knee = max_fanin(points)
         full_scale = get_transport_profile(xprt).max_connections
@@ -240,9 +294,13 @@ def _cli() -> None:
     ap.add_argument("--interval", type=float, default=5.0)
     ap.add_argument("--metrics", type=int, default=10)
     ap.add_argument("--duration", type=float, default=30.0)
+    ap.add_argument("--shards", type=int, default=None,
+                    help="run sweep points as disjoint shards across this "
+                         "many worker processes (default: REPRO_SHARDS)")
     args = ap.parse_args()
     main(scale=args.scale, xprts=tuple(args.xprt or ("sock", "rdma", "ugni")),
-         interval=args.interval, metrics=args.metrics, duration=args.duration)
+         interval=args.interval, metrics=args.metrics, duration=args.duration,
+         nshards=args.shards)
 
 
 if __name__ == "__main__":

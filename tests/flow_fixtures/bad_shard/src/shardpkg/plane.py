@@ -1,0 +1,8 @@
+"""The shard plane itself: its counters are allowed to be process-global."""
+
+WINDOWS = 0
+
+
+def note_window(shard_id: int) -> None:
+    global WINDOWS
+    WINDOWS += 1

@@ -1,0 +1,12 @@
+"""Outside the shard plane: a module-level results registry.
+
+Each forked worker appends into its private copy; the parent's stays
+empty — exactly the divergence the contract forbids.
+"""
+
+RESULTS: list[int] = []
+
+
+def record_result(job: int) -> int:
+    RESULTS.append(job * 2)
+    return 1

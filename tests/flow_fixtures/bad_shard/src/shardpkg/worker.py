@@ -1,0 +1,11 @@
+"""A shard worker whose per-shard loop leaks into a shared registry."""
+
+from shardpkg import plane, registry
+
+
+def run_shard(shard_id: int) -> int:
+    plane.note_window(shard_id)
+    done = 0
+    for job in range(shard_id, shard_id + 4):
+        done += registry.record_result(job)
+    return done
